@@ -1,0 +1,3 @@
+module memverify
+
+go 1.22

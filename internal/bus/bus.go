@@ -1,0 +1,113 @@
+// Package bus models the shared split-transaction memory bus of the
+// simulated machine: 8 bytes wide at 200 MHz on a 1 GHz core, i.e. one
+// beat per 5 CPU cycles and 1.6 GB/s of peak bandwidth. The L2 cache and
+// the hash unit share it (§6.3: "All structures that access the main
+// memory including a L2 cache and the hash unit share the same bus"), so
+// hash traffic steals bandwidth from the application exactly as in the
+// paper's bandwidth-pollution analysis (§6.4.2).
+package bus
+
+// Class labels bus traffic for the bandwidth-accounting figures.
+type Class int
+
+const (
+	// Data is program data moved for the L2 (fills and write-backs).
+	Data Class = iota
+	// Hash is integrity traffic: tree-node chunks, MAC reads and updates.
+	Hash
+	numClasses
+)
+
+// String returns "data" or "hash".
+func (c Class) String() string {
+	switch c {
+	case Data:
+		return "data"
+	case Hash:
+		return "hash"
+	}
+	return "unknown"
+}
+
+// Bus is a single shared data bus with back-to-back beat scheduling. The
+// address bus is modeled implicitly (requests are pipelined and never the
+// bottleneck at these rates, matching sim-outorder's bus model).
+type Bus struct {
+	// BeatBytes is the width of one bus beat in bytes (8 in Table 1).
+	BeatBytes int
+	// CyclesPerBeat is CPU cycles per beat (5 for 200 MHz on a 1 GHz core).
+	CyclesPerBeat uint64
+
+	freeAt uint64
+	bytes  [numClasses]uint64
+	busy   uint64 // total cycles the bus spent transferring
+}
+
+// New returns a bus with the given beat geometry.
+func New(beatBytes int, cyclesPerBeat uint64) *Bus {
+	if beatBytes <= 0 || cyclesPerBeat == 0 {
+		panic("bus: beat geometry must be positive")
+	}
+	return &Bus{BeatBytes: beatBytes, CyclesPerBeat: cyclesPerBeat}
+}
+
+// Beats returns the number of beats needed to move n bytes.
+func (b *Bus) Beats(n int) uint64 {
+	return uint64((n + b.BeatBytes - 1) / b.BeatBytes)
+}
+
+// Reserve schedules a transfer of n bytes that may start no earlier than
+// earliest. It returns the cycle the first beat completes (critical word)
+// and the cycle the last beat completes. The bus is occupied for the whole
+// transfer; concurrent requesters queue.
+func (b *Bus) Reserve(earliest uint64, n int, class Class) (first, done uint64) {
+	start := earliest
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	beats := b.Beats(n)
+	first = start + b.CyclesPerBeat
+	done = start + beats*b.CyclesPerBeat
+	b.freeAt = done
+	b.bytes[class] += uint64(n)
+	b.busy += beats * b.CyclesPerBeat
+	return first, done
+}
+
+// FreeAt returns the cycle at which the bus next becomes idle.
+func (b *Bus) FreeAt() uint64 { return b.freeAt }
+
+// Bytes returns the bytes moved for a class so far.
+func (b *Bus) Bytes(class Class) uint64 { return b.bytes[class] }
+
+// TotalBytes returns all bytes moved on the bus.
+func (b *Bus) TotalBytes() uint64 {
+	var t uint64
+	for _, v := range b.bytes {
+		t += v
+	}
+	return t
+}
+
+// BusyCycles returns the cycles during which the bus was transferring.
+func (b *Bus) BusyCycles() uint64 { return b.busy }
+
+// Utilization returns busy cycles divided by elapsed cycles.
+func (b *Bus) Utilization(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(b.busy) / float64(elapsed)
+}
+
+// CountOnly records traffic bytes without reserving bus time (diagnostic).
+func (b *Bus) CountOnly(n int, class Class) {
+	b.bytes[class] += uint64(n)
+}
+
+// ResetCounters zeroes the traffic counters (but not the schedule state),
+// so measurements can start after a warm-up period.
+func (b *Bus) ResetCounters() {
+	b.bytes = [numClasses]uint64{}
+	b.busy = 0
+}

@@ -1,0 +1,109 @@
+package bus
+
+import "testing"
+
+func TestBeats(t *testing.T) {
+	b := New(8, 5)
+	cases := []struct {
+		bytes int
+		beats uint64
+	}{{1, 1}, {8, 1}, {9, 2}, {64, 8}, {65, 9}, {128, 16}}
+	for _, c := range cases {
+		if got := b.Beats(c.bytes); got != c.beats {
+			t.Errorf("Beats(%d) = %d, want %d", c.bytes, got, c.beats)
+		}
+	}
+}
+
+func TestReserveIdleBus(t *testing.T) {
+	b := New(8, 5)
+	first, done := b.Reserve(100, 64, Data)
+	if first != 105 {
+		t.Errorf("first beat at %d, want 105", first)
+	}
+	if done != 140 {
+		t.Errorf("done at %d, want 140 (8 beats x 5 cycles)", done)
+	}
+}
+
+func TestReserveQueues(t *testing.T) {
+	b := New(8, 5)
+	_, done1 := b.Reserve(0, 64, Data)
+	first2, done2 := b.Reserve(0, 64, Hash)
+	if first2 != done1+5 {
+		t.Errorf("second transfer first beat %d, want %d", first2, done1+5)
+	}
+	if done2 != done1+40 {
+		t.Errorf("second transfer done %d, want %d", done2, done1+40)
+	}
+	if b.FreeAt() != done2 {
+		t.Errorf("FreeAt %d, want %d", b.FreeAt(), done2)
+	}
+}
+
+func TestReserveAfterIdleGap(t *testing.T) {
+	b := New(8, 5)
+	b.Reserve(0, 8, Data)
+	first, _ := b.Reserve(1000, 8, Data)
+	if first != 1005 {
+		t.Errorf("transfer after idle gap starts at %d, want 1005", first)
+	}
+}
+
+func TestClassAccounting(t *testing.T) {
+	b := New(8, 5)
+	b.Reserve(0, 64, Data)
+	b.Reserve(0, 128, Hash)
+	b.Reserve(0, 64, Data)
+	if b.Bytes(Data) != 128 {
+		t.Errorf("data bytes %d, want 128", b.Bytes(Data))
+	}
+	if b.Bytes(Hash) != 128 {
+		t.Errorf("hash bytes %d, want 128", b.Bytes(Hash))
+	}
+	if b.TotalBytes() != 256 {
+		t.Errorf("total bytes %d, want 256", b.TotalBytes())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	b := New(8, 5)
+	b.Reserve(0, 64, Data) // 40 busy cycles
+	if got := b.Utilization(80); got != 0.5 {
+		t.Errorf("Utilization = %f, want 0.5", got)
+	}
+	if got := b.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %f, want 0", got)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	b := New(8, 5)
+	b.Reserve(0, 64, Data)
+	free := b.FreeAt()
+	b.ResetCounters()
+	if b.TotalBytes() != 0 || b.BusyCycles() != 0 {
+		t.Error("counters not reset")
+	}
+	if b.FreeAt() != free {
+		t.Error("ResetCounters must not rewind the schedule")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Data.String() != "data" || Hash.String() != "hash" {
+		t.Error("class names wrong")
+	}
+	if Class(99).String() != "unknown" {
+		t.Error("unknown class name wrong")
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, 0) did not panic")
+		}
+	}()
+	New(0, 0)
+}

@@ -1,0 +1,29 @@
+package cache
+
+import "testing"
+
+func BenchmarkReadHit(b *testing.B) {
+	c := New(Config{Name: "b", Size: 1 << 20, Ways: 4, BlockSize: 64})
+	c.Fill(0x1000, Data, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Read(0x1000, Data)
+	}
+}
+
+func BenchmarkFillEvict(b *testing.B) {
+	c := New(Config{Name: "b", Size: 64 << 10, Ways: 4, BlockSize: 64})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*64, Data, nil)
+	}
+}
+
+func BenchmarkFillEvictDataBearing(b *testing.B) {
+	c := New(Config{Name: "b", Size: 64 << 10, Ways: 4, BlockSize: 64, DataBearing: true})
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*64, Data, data)
+	}
+}

@@ -1,0 +1,281 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy: L1 instruction, L1 data and the unified L2 the hash
+// machinery integrates with.
+//
+// Caches are write-back, write-allocate, with true LRU replacement. Each
+// line carries a traffic class (program data vs hash-tree node) so the
+// harness can report the program-data miss rate of Figure 4 and the cache
+// pollution analysis of §6.4.1. The L2 is data-bearing: lines hold their
+// actual bytes, which is what makes cached hash-tree nodes trustworthy
+// on-chip roots in the integrity engines.
+package cache
+
+import "fmt"
+
+// Class labels the contents of a line.
+type Class int
+
+const (
+	// Data is ordinary program data (or instructions).
+	Data Class = iota
+	// Hash is a hash-tree node chunk cached by the c/m/i schemes.
+	Hash
+	numClasses
+)
+
+// String returns "data" or "hash".
+func (c Class) String() string {
+	switch c {
+	case Data:
+		return "data"
+	case Hash:
+		return "hash"
+	}
+	return "unknown"
+}
+
+// Config describes a cache's geometry.
+type Config struct {
+	Name      string // for error messages and stat dumps
+	Size      int    // total bytes; must be Ways*BlockSize*Sets
+	Ways      int    // associativity
+	BlockSize int    // line size in bytes; power of two
+	// DataBearing controls whether lines store their bytes. Timing-only
+	// caches (the L1s) leave it false; the L2 sets it so the integrity
+	// machinery can treat cached chunks as trusted on-chip values.
+	DataBearing bool
+}
+
+// Line is one cache line. Data is nil in timing-only caches.
+type Line struct {
+	Addr  uint64 // block-aligned address
+	Data  []byte
+	Class Class
+	Valid bool
+	Dirty bool
+	lru   uint64
+}
+
+// Stats counts cache events, split by traffic class.
+type Stats struct {
+	Accesses   [2]uint64 // reads per class
+	Misses     [2]uint64
+	Writes     [2]uint64 // write accesses per class
+	WriteMiss  [2]uint64
+	Evictions  [2]uint64
+	WriteBacks [2]uint64 // dirty evictions
+}
+
+// MissRate returns the read+write miss rate for a class.
+func (s *Stats) MissRate(c Class) float64 {
+	acc := s.Accesses[c] + s.Writes[c]
+	if acc == 0 {
+		return 0
+	}
+	return float64(s.Misses[c]+s.WriteMiss[c]) / float64(acc)
+}
+
+// Cache is a set-associative write-back cache.
+type Cache struct {
+	cfg    Config
+	sets   [][]Line
+	shift  uint // log2(BlockSize)
+	mask   uint64
+	clock  uint64 // LRU timestamp source
+	nsets  int
+	Stat   Stats
+	filled int
+}
+
+// New builds a cache. It panics on an inconsistent geometry, which is a
+// programming error in the caller's configuration code.
+func New(cfg Config) *Cache {
+	if cfg.BlockSize <= 0 || cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: block size %d not a positive power of two", cfg.Name, cfg.BlockSize))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways %d", cfg.Name, cfg.Ways))
+	}
+	if cfg.Size%(cfg.BlockSize*cfg.Ways) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by ways*block", cfg.Name, cfg.Size))
+	}
+	nsets := cfg.Size / (cfg.BlockSize * cfg.Ways)
+	if nsets == 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two", cfg.Name, nsets))
+	}
+	c := &Cache{cfg: cfg, nsets: nsets}
+	c.sets = make([][]Line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]Line, cfg.Ways)
+	}
+	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
+		c.shift++
+	}
+	c.mask = uint64(nsets - 1)
+	return c
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// BlockAddr returns addr rounded down to its block boundary.
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.BlockSize) - 1) }
+
+func (c *Cache) set(addr uint64) []Line { return c.sets[(addr>>c.shift)&c.mask] }
+
+// Probe returns the line holding addr, updating LRU, or nil on miss.
+// It records no statistics; use Read/Write for accounted accesses.
+func (c *Cache) Probe(addr uint64) *Line {
+	ba := c.BlockAddr(addr)
+	set := c.set(ba)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == ba {
+			c.clock++
+			set[i].lru = c.clock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Peek returns the line holding addr without touching LRU or statistics.
+func (c *Cache) Peek(addr uint64) *Line {
+	ba := c.BlockAddr(addr)
+	set := c.set(ba)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == ba {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Read performs an accounted read access and returns the hit line or nil.
+func (c *Cache) Read(addr uint64, class Class) *Line {
+	c.Stat.Accesses[class]++
+	ln := c.Probe(addr)
+	if ln == nil {
+		c.Stat.Misses[class]++
+	}
+	return ln
+}
+
+// Write performs an accounted write access. On hit the line is marked
+// dirty and returned; on miss it returns nil and the caller is expected to
+// run the write-allocate path (fill then mark dirty).
+func (c *Cache) Write(addr uint64, class Class) *Line {
+	c.Stat.Writes[class]++
+	ln := c.Probe(addr)
+	if ln == nil {
+		c.Stat.WriteMiss[class]++
+		return nil
+	}
+	ln.Dirty = true
+	return ln
+}
+
+// Fill inserts a block, evicting the set's LRU line if necessary. It
+// returns a copy of the evicted line (Valid false if the set had room).
+// data is retained only in data-bearing caches, where it is copied.
+func (c *Cache) Fill(addr uint64, class Class, data []byte) Line {
+	ba := c.BlockAddr(addr)
+	set := c.set(ba)
+	victim := 0
+	for i := range set {
+		if set[i].Valid && set[i].Addr == ba {
+			// Refill of a resident line: refresh contents in place.
+			if c.cfg.DataBearing && data != nil {
+				copy(set[i].Data, data)
+			}
+			c.clock++
+			set[i].lru = c.clock
+			return Line{}
+		}
+		if !set[i].Valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evicted := set[victim]
+	if evicted.Valid {
+		c.Stat.Evictions[evicted.Class]++
+		if evicted.Dirty {
+			c.Stat.WriteBacks[evicted.Class]++
+		}
+		// Hand the caller its own copy of the data so a subsequent refill
+		// of this slot cannot alias it.
+		if evicted.Data != nil {
+			d := make([]byte, len(evicted.Data))
+			copy(d, evicted.Data)
+			evicted.Data = d
+		}
+	} else {
+		c.filled++
+	}
+	c.clock++
+	nl := Line{Addr: ba, Class: class, Valid: true, lru: c.clock}
+	if c.cfg.DataBearing {
+		nl.Data = make([]byte, c.cfg.BlockSize)
+		if data != nil {
+			copy(nl.Data, data)
+		}
+	}
+	set[victim] = nl
+	return evicted
+}
+
+// Invalidate drops the line holding addr, returning a copy of it (Valid
+// false if absent). The caller owns any dirty data.
+func (c *Cache) Invalidate(addr uint64) Line {
+	ba := c.BlockAddr(addr)
+	set := c.set(ba)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == ba {
+			ln := set[i]
+			set[i] = Line{}
+			c.filled--
+			return ln
+		}
+	}
+	return Line{}
+}
+
+// DirtyLines returns copies of every dirty resident line, in no particular
+// order. Used by the initialization procedure's cache flush (§5.7.2).
+func (c *Cache) DirtyLines() []Line {
+	var out []Line
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid && set[i].Dirty {
+				ln := set[i]
+				if ln.Data != nil {
+					d := make([]byte, len(ln.Data))
+					copy(d, ln.Data)
+					ln.Data = d
+				}
+				out = append(out, ln)
+			}
+		}
+	}
+	return out
+}
+
+// Clean marks the line holding addr as clean, if present.
+func (c *Cache) Clean(addr uint64) {
+	if ln := c.Peek(addr); ln != nil {
+		ln.Dirty = false
+	}
+}
+
+// ResidentLines returns the number of valid lines.
+func (c *Cache) ResidentLines() int { return c.filled }
+
+// Sets returns the number of sets (exported for tests and doc output).
+func (c *Cache) Sets() int { return c.nsets }
+
+// ResetStats zeroes the event counters (contents are untouched) for
+// post-warm-up measurement.
+func (c *Cache) ResetStats() { c.Stat = Stats{} }

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refCache is a deliberately simple reference model of a set-associative
+// LRU cache: per-set slices ordered by recency.
+type refCache struct {
+	block uint64
+	sets  int
+	ways  int
+	lru   map[int][]uint64 // set -> block addrs, most recent first
+}
+
+func newRef(size, ways, block int) *refCache {
+	return &refCache{
+		block: uint64(block),
+		sets:  size / (ways * block),
+		ways:  ways,
+		lru:   make(map[int][]uint64),
+	}
+}
+
+func (r *refCache) setOf(addr uint64) int {
+	return int((addr / r.block) % uint64(r.sets))
+}
+
+func (r *refCache) touch(addr uint64) bool { // returns hit
+	ba := addr &^ (r.block - 1)
+	s := r.setOf(ba)
+	lst := r.lru[s]
+	for i, a := range lst {
+		if a == ba {
+			lst = append([]uint64{ba}, append(lst[:i], lst[i+1:]...)...)
+			r.lru[s] = lst
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refCache) fill(addr uint64) (evicted uint64, hadVictim bool) {
+	ba := addr &^ (r.block - 1)
+	s := r.setOf(ba)
+	lst := r.lru[s]
+	for _, a := range lst {
+		if a == ba {
+			return 0, false // already resident
+		}
+	}
+	lst = append([]uint64{ba}, lst...)
+	if len(lst) > r.ways {
+		evicted = lst[len(lst)-1]
+		lst = lst[:len(lst)-1]
+		hadVictim = true
+	}
+	r.lru[s] = lst
+	return evicted, hadVictim
+}
+
+func (r *refCache) resident() []uint64 {
+	var all []uint64
+	for _, lst := range r.lru {
+		all = append(all, lst...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// TestAgainstReferenceModel drives the cache and the reference model with
+// the same random access stream and checks hit/miss decisions, evictions
+// and the final resident set agree exactly.
+func TestAgainstReferenceModel(t *testing.T) {
+	const size, ways, block = 4096, 4, 64
+	check := func(ops []uint16) bool {
+		c := New(Config{Name: "dut", Size: size, Ways: ways, BlockSize: block})
+		r := newRef(size, ways, block)
+		for _, op := range ops {
+			addr := uint64(op) * 8
+			hitDUT := c.Probe(addr) != nil
+			hitRef := r.touch(addr)
+			if hitDUT != hitRef {
+				t.Logf("addr %#x: dut hit=%v ref hit=%v", addr, hitDUT, hitRef)
+				return false
+			}
+			if !hitDUT {
+				ev := c.Fill(addr, Data, nil)
+				// Probing on miss did not touch ref LRU; fill in ref.
+				evRef, hadRef := r.fill(addr)
+				if ev.Valid != hadRef {
+					t.Logf("addr %#x: dut evicted=%v ref evicted=%v", addr, ev.Valid, hadRef)
+					return false
+				}
+				if ev.Valid && ev.Addr != evRef {
+					t.Logf("addr %#x: dut victim %#x ref victim %#x", addr, ev.Addr, evRef)
+					return false
+				}
+			}
+		}
+		// Final resident sets must match.
+		var dut []uint64
+		for _, a := range r.resident() {
+			if c.Peek(a) == nil {
+				t.Logf("ref-resident %#x missing from dut", a)
+				return false
+			}
+			dut = append(dut, a)
+		}
+		return len(dut) == c.ResidentLines()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"memverify/internal/bus"
+	"memverify/internal/cache"
+	"memverify/internal/cpu"
+	"memverify/internal/dram"
+	"memverify/internal/htree"
+	"memverify/internal/integrity"
+	"memverify/internal/mem"
+	"memverify/internal/tlb"
+	"memverify/internal/trace"
+)
+
+// Machine is one assembled simulated computer: core, caches, verification
+// engine, bus, DRAM and (in functional mode) real memory contents.
+type Machine struct {
+	Cfg    Config
+	Bus    *bus.Bus
+	DRAM   *dram.DRAM
+	L1I    *cache.Cache
+	L1D    *cache.Cache
+	L2     *cache.Cache
+	ITLB   *tlb.TLB
+	DTLB   *tlb.TLB
+	Sys    *integrity.System
+	Engine integrity.Engine
+	Layout *htree.Layout
+	CPU    *cpu.CPU
+
+	backing *mem.Sparse
+	adv     *mem.Adversary
+
+	codeBase uint64
+	codeSize uint64
+	dataBase uint64
+	dataSize uint64
+	storeSeq uint64
+	now      uint64 // advancing store-stamp clock for direct accesses
+}
+
+// NewMachine assembles a machine from cfg.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg}
+	m.Bus = bus.New(cfg.BusBeatBytes, cfg.BusCyclesPerBeat)
+	m.DRAM = dram.New(cfg.MemLatency, m.Bus)
+	m.backing = mem.NewSparse()
+
+	m.L1I = cache.New(cache.Config{Name: "L1I", Size: cfg.L1Size, Ways: cfg.L1Ways, BlockSize: cfg.L1Block})
+	m.L1D = cache.New(cache.Config{Name: "L1D", Size: cfg.L1Size, Ways: cfg.L1Ways, BlockSize: cfg.L1Block})
+	m.ITLB = tlb.New(cfg.TLB)
+	m.DTLB = tlb.New(cfg.TLB)
+	m.L2 = cache.New(cache.Config{
+		Name: "L2", Size: cfg.L2Size, Ways: cfg.L2Ways, BlockSize: cfg.L2Block,
+		DataBearing: cfg.Functional,
+	})
+
+	chunkSize := cfg.L2Block * cfg.ChunkBlocks
+	layout, err := htree.NewLayout(chunkSize, cfg.HashSize, cfg.ProtectedBytes)
+	if err != nil {
+		return nil, err
+	}
+	m.Layout = layout
+
+	alg, err := hashFor(cfg.HashAlg)
+	if err != nil {
+		return nil, err
+	}
+	m.Sys = &integrity.System{
+		L2:         m.L2,
+		Mem:        m.backing,
+		DRAM:       m.DRAM,
+		Unit:       integrity.NewHashUnit(cfg.HashLatency, cfg.HashBytesPerCycle, cfg.HashBuffers, cfg.HashBuffers),
+		Layout:     layout,
+		Alg:        alg,
+		L2Latency:  cfg.L2Latency,
+		CheckReads: true,
+		Functional: cfg.Functional,
+	}
+
+	switch cfg.Scheme {
+	case SchemeBase:
+		m.Engine = integrity.NewBase(m.Sys)
+	case SchemeNaive:
+		m.Engine = integrity.NewNaive(m.Sys)
+	case SchemeCached, SchemeMulti:
+		m.Engine = integrity.NewCached(m.Sys)
+	case SchemeIncr:
+		m.Engine = integrity.NewIncr(m.Sys, []byte("memverify-machine-key"))
+	}
+	if cfg.Functional && cfg.Scheme != SchemeBase {
+		m.Engine.(integrity.TreeInitializer).InitializeTree()
+	}
+
+	// Program layout inside the protected data region: code first, data
+	// after, both block-aligned.
+	m.dataBase = layout.DataStart()
+	m.codeBase = m.dataBase
+	m.codeSize = alignUp(cfg.Benchmark.CodeSet, uint64(cfg.L2Block))
+	if m.codeSize == 0 {
+		m.codeSize = uint64(cfg.L2Block)
+	}
+	m.dataSize = cfg.ProtectedBytes - m.codeSize
+	m.CPU = cpu.New(cfg.CPU, (*hierarchy)(m))
+	return m, nil
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+// Run executes the configured benchmark — a warm-up period, a counter
+// reset, then cfg.Instructions of measurement — and returns the metrics.
+func (m *Machine) Run() Metrics {
+	return m.RunWith(newGenerator(m.Cfg))
+}
+
+// RunWith runs the machine over an arbitrary instruction source (e.g. a
+// recorded trace replay) under the configured warm-up and budget.
+func (m *Machine) RunWith(gen trace.Generator) Metrics {
+	if m.Cfg.Warmup > 0 {
+		m.CPU.Run(gen, m.Cfg.Warmup)
+		m.ResetStats()
+	}
+	res := m.CPU.Run(gen, m.Cfg.Instructions)
+	return m.metrics(res)
+}
+
+// ResetStats zeroes every statistics counter (cache, bus, DRAM, hash unit,
+// integrity) while leaving all architectural state warm.
+func (m *Machine) ResetStats() {
+	m.L1I.ResetStats()
+	m.L1D.ResetStats()
+	m.L2.ResetStats()
+	m.ITLB.ResetStats()
+	m.DTLB.ResetStats()
+	m.Bus.ResetCounters()
+	m.DRAM.ResetCounters()
+	m.Sys.Unit.ResetCounters()
+	m.Sys.ResetStats()
+}
+
+// Adversary interposes (once) a physical attacker on the memory bus and
+// returns it. Subsequent calls return the same adversary.
+func (m *Machine) Adversary() *mem.Adversary {
+	if m.adv == nil {
+		m.adv = mem.NewAdversary(m.backing)
+		m.Sys.Mem = m.adv
+	}
+	return m.adv
+}
+
+// ProgAddr maps a program data offset to its physical address inside the
+// protected region.
+func (m *Machine) ProgAddr(off uint64) uint64 {
+	return m.codeBase + m.codeSize + off%m.dataSize
+}
+
+// UnprotectedBase returns the first physical address beyond the hash
+// tree's reach — the region DMA transfers land in (§5.7.1).
+func (m *Machine) UnprotectedBase() uint64 {
+	return alignUp(m.Layout.Size(), uint64(m.Cfg.L2Block))
+}
+
+// Flush drains all dirty cached state through the engine — the
+// cryptographic barrier of §5.8 and step 3 of initialization.
+func (m *Machine) Flush() {
+	m.now = m.Engine.Flush(m.now)
+}
+
+// StoreBytes performs a program store of p at data offset off with real
+// contents, through the normal L1/L2/engine write path (functional mode).
+// Whole-block aligned spans take the §5.3 write-allocate optimization: a
+// fully overwritten block is allocated without fetching or checking its
+// old contents.
+func (m *Machine) StoreBytes(off uint64, p []byte) error {
+	if !m.Cfg.Functional {
+		return fmt.Errorf("core: StoreBytes requires a functional machine")
+	}
+	h := (*hierarchy)(m)
+	bs := uint64(m.Cfg.L2Block)
+	for len(p) > 0 {
+		a := m.ProgAddr(off)
+		if a%bs == 0 && uint64(len(p)) >= bs {
+			ln := m.L2.Write(a, cache.Data)
+			if ln == nil {
+				m.now = m.Engine.AllocateFullWrite(m.now, a)
+				ln = m.L2.Peek(a)
+				if ln == nil {
+					panic("core: full-write allocation failed")
+				}
+			}
+			copy(ln.Data, p[:bs])
+			off += bs
+			p = p[bs:]
+			continue
+		}
+		m.now = h.l2data(m.now, a, true, p[:1])
+		off++
+		p = p[1:]
+	}
+	return nil
+}
+
+// LoadBytes performs a verified program load of len(p) bytes at data
+// offset off. Any integrity violation detected during the load chain is
+// returned (and also recorded in the system stats).
+func (m *Machine) LoadBytes(off uint64, p []byte) error {
+	if !m.Cfg.Functional {
+		return fmt.Errorf("core: LoadBytes requires a functional machine")
+	}
+	h := (*hierarchy)(m)
+	before := m.Sys.Stat.Violations
+	for i := range p {
+		a := m.ProgAddr(off + uint64(i))
+		m.now = h.l2data(m.now, a, false, p[i:i+1])
+	}
+	if m.Sys.Stat.Violations > before {
+		return m.Sys.First
+	}
+	return nil
+}
+
+// Port exposes the machine's memory hierarchy as a cpu.MemPort, letting
+// callers drive custom cores or probes over the same caches and engine.
+func (m *Machine) Port() cpu.MemPort { return (*hierarchy)(m) }
+
+// hierarchy adapts the Machine to cpu.MemPort. It is the L1 layer: L1
+// hits cost L1Latency; misses go to the L2, whose misses go through the
+// verification engine.
+type hierarchy Machine
+
+func (h *hierarchy) mapPC(pc uint64) uint64 { return h.codeBase + pc%h.codeSize }
+
+func (h *hierarchy) mapData(addr uint64) uint64 {
+	return h.codeBase + h.codeSize + addr%h.dataSize
+}
+
+// l2read performs an L2 read access for a block, returning completion.
+func (h *hierarchy) l2read(now uint64, addr uint64) uint64 {
+	if h.L2.Read(addr, cache.Data) != nil {
+		return now + h.Cfg.L2Latency
+	}
+	return h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr)
+}
+
+// l2write performs an L2 write access (a dirty L1 line arriving, or a
+// direct functional store), write-allocating on a miss. In functional
+// mode the written bytes are stamped so hashes really change.
+func (h *hierarchy) l2write(now uint64, addr uint64) uint64 {
+	ln := h.L2.Write(addr, cache.Data)
+	done := now + h.Cfg.L2Latency
+	if ln == nil {
+		t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr)
+		if t > done {
+			done = t
+		}
+		ln = h.L2.Write(addr, cache.Data)
+		if ln == nil {
+			panic("core: write-allocate failed to cache the block")
+		}
+	}
+	if ln.Data != nil {
+		// Stamp the stored-to word with a fresh value so write-backs
+		// propagate real changes through the hash machinery.
+		off := (addr - ln.Addr) &^ 7
+		if off+8 <= uint64(len(ln.Data)) {
+			binary.LittleEndian.PutUint64(ln.Data[off:], h.storeSeq|1<<63)
+			h.storeSeq++
+		}
+	}
+	return done
+}
+
+// l2data is the byte-accurate variant used by Store/LoadBytes.
+func (h *hierarchy) l2data(now uint64, addr uint64, write bool, p []byte) uint64 {
+	if write {
+		ln := h.L2.Write(addr, cache.Data)
+		done := now + h.Cfg.L2Latency
+		if ln == nil {
+			if t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr); t > done {
+				done = t
+			}
+			ln = h.L2.Write(addr, cache.Data)
+			if ln == nil {
+				panic("core: write-allocate failed to cache the block")
+			}
+		}
+		copy(ln.Data[addr-ln.Addr:], p)
+		return done
+	}
+	done := now + h.Cfg.L2Latency
+	ln := h.L2.Read(addr, cache.Data)
+	if ln == nil {
+		if t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr); t > done {
+			done = t
+		}
+		ln = h.L2.Peek(addr)
+		if ln == nil {
+			panic("core: fill failed to cache the block")
+		}
+	}
+	copy(p, ln.Data[addr-ln.Addr:uint64(len(ln.Data))])
+	return done
+}
+
+// Barrier implements cpu.BarrierPort: a cryptographic instruction may not
+// complete before every outstanding integrity check has (§5.8).
+func (h *hierarchy) Barrier(now uint64) uint64 {
+	if t := h.Sys.ChecksDone(); t > now {
+		return t
+	}
+	return now
+}
+
+// Fetch implements cpu.MemPort.
+func (h *hierarchy) Fetch(now uint64, pc uint64) uint64 {
+	a := h.mapPC(pc)
+	now = h.ITLB.Lookup(now, a)
+	if h.L1I.Read(a, cache.Data) != nil {
+		return now + h.Cfg.L1Latency
+	}
+	t := h.l2read(now+h.Cfg.L1Latency, a)
+	h.L1I.Fill(a, cache.Data, nil)
+	return t
+}
+
+// Load implements cpu.MemPort.
+func (h *hierarchy) Load(now uint64, addr uint64) uint64 {
+	a := h.mapData(addr)
+	now = h.DTLB.Lookup(now, a)
+	if h.L1D.Read(a, cache.Data) != nil {
+		return now + h.Cfg.L1Latency
+	}
+	t := h.l2read(now+h.Cfg.L1Latency, a)
+	if ev := h.L1D.Fill(a, cache.Data, nil); ev.Valid && ev.Dirty {
+		h.l2write(t, ev.Addr)
+	}
+	return t
+}
+
+// Store implements cpu.MemPort: the committed store writes into the L1D,
+// allocating through the L2 on a miss.
+func (h *hierarchy) Store(now uint64, addr uint64) uint64 {
+	a := h.mapData(addr)
+	now = h.DTLB.Lookup(now, a)
+	if h.L1D.Write(a, cache.Data) != nil {
+		return now + h.Cfg.L1Latency
+	}
+	t := h.l2read(now+h.Cfg.L1Latency, a)
+	if ev := h.L1D.Fill(a, cache.Data, nil); ev.Valid && ev.Dirty {
+		t = h.l2write(t, ev.Addr)
+	}
+	if h.L1D.Write(a, cache.Data) == nil {
+		panic("core: L1D write-allocate failed")
+	}
+	return t
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"memverify/internal/bus"
+	"memverify/internal/cache"
+	"memverify/internal/cpu"
+	"memverify/internal/hashalg"
+	"memverify/internal/integrity"
+	"memverify/internal/trace"
+)
+
+// Metrics is everything one simulation reports; the figure harness
+// combines Metrics from several runs into the paper's tables.
+type Metrics struct {
+	Scheme    Scheme
+	Benchmark string
+
+	Result cpu.Result
+	IPC    float64
+
+	// L2 behaviour.
+	L2Stats         cache.Stats
+	DataMissRate    float64 // program-data miss rate (Figure 4)
+	L2DataMisses    uint64
+	L2HashAccesses  uint64
+	L2HashMissRate  float64
+	IntegrityStats  integrity.Stats
+	ExtraPerMiss    float64 // read-path additional memory blocks per L2 miss (Figure 5a)
+	ExtraPerMissAll float64 // as above but including write-back-path reads
+	BusBytes        uint64  // total bus traffic (Figure 5b numerator)
+	BusDataBytes    uint64
+	BusHashBytes    uint64
+	BusUtilization  float64
+	HashOps         uint64
+	HashBytesHashed uint64
+	Violations      uint64
+	DRAMReads       uint64
+	DRAMWrites      uint64
+	ITLBMissRate    float64
+	DTLBMissRate    float64
+}
+
+func hashFor(name string) (hashalg.Algorithm, error) { return hashalg.New(name) }
+
+func newGenerator(cfg Config) trace.Generator {
+	return trace.NewSynthetic(cfg.Benchmark, cfg.Seed)
+}
+
+// metrics assembles a Metrics from the machine's counters after a run.
+func (m *Machine) metrics(res cpu.Result) Metrics {
+	st := m.L2.Stat
+	dataMisses := st.Misses[cache.Data] + st.WriteMiss[cache.Data]
+	out := Metrics{
+		Scheme:          m.Cfg.Scheme,
+		Benchmark:       m.Cfg.Benchmark.Name,
+		Result:          res,
+		IPC:             res.IPC(),
+		L2Stats:         st,
+		DataMissRate:    st.MissRate(cache.Data),
+		L2DataMisses:    dataMisses,
+		L2HashAccesses:  st.Accesses[cache.Hash] + st.Writes[cache.Hash],
+		L2HashMissRate:  st.MissRate(cache.Hash),
+		IntegrityStats:  m.Sys.Stat,
+		BusBytes:        m.Bus.TotalBytes(),
+		BusDataBytes:    m.Bus.Bytes(bus.Data),
+		BusHashBytes:    m.Bus.Bytes(bus.Hash),
+		BusUtilization:  m.Bus.Utilization(res.Cycles),
+		HashOps:         m.Sys.Unit.Ops(),
+		HashBytesHashed: m.Sys.Unit.BytesHashed(),
+		Violations:      m.Sys.Stat.Violations,
+		DRAMReads:       m.DRAM.Reads(),
+		DRAMWrites:      m.DRAM.Writes(),
+		ITLBMissRate:    m.ITLB.Stat.MissRate(),
+		DTLBMissRate:    m.DTLB.Stat.MissRate(),
+	}
+	if dataMisses > 0 {
+		readPath := m.Sys.Stat.ExtraBlockReads - m.Sys.Stat.ExtraWriteBackReads
+		out.ExtraPerMiss = float64(readPath) / float64(dataMisses)
+		out.ExtraPerMissAll = float64(m.Sys.Stat.ExtraBlockReads) / float64(dataMisses)
+	}
+	return out
+}
+
+// Run builds a machine for cfg, executes it, and returns the metrics.
+func Run(cfg Config) (Metrics, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m.Run(), nil
+}
+
+// String gives a one-line summary for logs.
+func (mt Metrics) String() string {
+	return fmt.Sprintf("%s/%s: IPC %.3f, L2 data miss %.2f%%, +%.2f blk/miss, bus %.1f%% (%d hash B), violations %d",
+		mt.Benchmark, mt.Scheme, mt.IPC, 100*mt.DataMissRate, mt.ExtraPerMiss,
+		100*mt.BusUtilization, mt.BusHashBytes, mt.Violations)
+}

@@ -1,0 +1,29 @@
+package cpu
+
+import (
+	"testing"
+
+	"memverify/internal/trace"
+)
+
+// BenchmarkSimulationRate measures how many instructions per second the
+// timing model itself processes against a perfect memory.
+func BenchmarkSimulationRate(b *testing.B) {
+	mem := &fixedMem{fetchLat: 1, loadLat: 1, storeLat: 1}
+	c := New(DefaultConfig(), mem)
+	gen := trace.NewSynthetic(trace.GCC, 1)
+	b.SetBytes(1) // report per-instruction cost as B/s ~ instr/s
+	b.ResetTimer()
+	c.Run(gen, uint64(b.N))
+}
+
+// BenchmarkSimulationRateMemoryBound measures the same with 100-cycle
+// memory, exercising the window bookkeeping harder.
+func BenchmarkSimulationRateMemoryBound(b *testing.B) {
+	mem := &fixedMem{fetchLat: 1, loadLat: 100, storeLat: 1}
+	c := New(DefaultConfig(), mem)
+	gen := trace.NewSynthetic(trace.Swim, 1)
+	b.SetBytes(1)
+	b.ResetTimer()
+	c.Run(gen, uint64(b.N))
+}

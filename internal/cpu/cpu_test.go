@@ -1,0 +1,228 @@
+package cpu
+
+import (
+	"testing"
+
+	"memverify/internal/trace"
+)
+
+// fixedMem is a MemPort with constant latencies.
+type fixedMem struct {
+	fetchLat, loadLat, storeLat uint64
+	loads, stores, fetches      uint64
+}
+
+func (m *fixedMem) Fetch(now, pc uint64) uint64 { m.fetches++; return now + m.fetchLat }
+func (m *fixedMem) Load(now, a uint64) uint64   { m.loads++; return now + m.loadLat }
+func (m *fixedMem) Store(now, a uint64) uint64  { m.stores++; return now + m.storeLat }
+
+// scripted replays a fixed instruction slice.
+type scripted struct {
+	ins []trace.Instruction
+	i   int
+}
+
+func (s *scripted) Name() string { return "scripted" }
+func (s *scripted) Next(out *trace.Instruction) {
+	*out = s.ins[s.i%len(s.ins)]
+	s.i++
+}
+
+func run(t *testing.T, cfg Config, ins []trace.Instruction, n uint64, mem MemPort) Result {
+	t.Helper()
+	if mem == nil {
+		mem = &fixedMem{fetchLat: 1, loadLat: 1, storeLat: 1}
+	}
+	c := New(cfg, mem)
+	return c.Run(&scripted{ins: ins}, n)
+}
+
+func TestIndependentIntStreamHitsWidth(t *testing.T) {
+	res := run(t, DefaultConfig(), []trace.Instruction{{Op: trace.OpInt}}, 10000, nil)
+	if ipc := res.IPC(); ipc < 3.5 || ipc > 4.01 {
+		t.Errorf("independent stream IPC = %f, want ~4 (commit width)", ipc)
+	}
+}
+
+func TestSerialChainLimitsIPC(t *testing.T) {
+	// Every instruction depends on its predecessor: one per cycle at best.
+	res := run(t, DefaultConfig(), []trace.Instruction{{Op: trace.OpInt, Dep1: 1}}, 10000, nil)
+	if ipc := res.IPC(); ipc > 1.01 {
+		t.Errorf("serial chain IPC = %f, want <= 1", ipc)
+	}
+}
+
+func TestFPLatencyChain(t *testing.T) {
+	cfg := DefaultConfig()
+	res := run(t, cfg, []trace.Instruction{{Op: trace.OpFP, Dep1: 1}}, 10000, nil)
+	want := 1.0 / float64(cfg.FPLatency)
+	if ipc := res.IPC(); ipc > want*1.05 {
+		t.Errorf("dependent FP chain IPC = %f, want ~%f", ipc, want)
+	}
+}
+
+func TestLoadLatencyChain(t *testing.T) {
+	mem := &fixedMem{fetchLat: 1, loadLat: 100, storeLat: 1}
+	res := run(t, DefaultConfig(), []trace.Instruction{{Op: trace.OpLoad, Dep1: 1}}, 2000, mem)
+	if ipc := res.IPC(); ipc > 0.011 {
+		t.Errorf("dependent 100-cycle loads IPC = %f, want ~0.01", ipc)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	// Independent loads should overlap up to the window/LSQ limit.
+	mem := &fixedMem{fetchLat: 1, loadLat: 100, storeLat: 1}
+	res := run(t, DefaultConfig(), []trace.Instruction{{Op: trace.OpLoad}}, 5000, mem)
+	if ipc := res.IPC(); ipc < 0.3 {
+		t.Errorf("independent loads IPC = %f: no memory-level parallelism", ipc)
+	}
+}
+
+func TestRUULimitsOverlap(t *testing.T) {
+	mem := &fixedMem{fetchLat: 1, loadLat: 200, storeLat: 1}
+	big := DefaultConfig()
+	small := DefaultConfig()
+	small.RUUSize = 8
+	small.LSQSize = 4
+	rBig := run(t, big, []trace.Instruction{{Op: trace.OpLoad}}, 4000, mem)
+	mem2 := &fixedMem{fetchLat: 1, loadLat: 200, storeLat: 1}
+	c := New(small, mem2)
+	rSmall := c.Run(&scripted{ins: []trace.Instruction{{Op: trace.OpLoad}}}, 4000)
+	if rSmall.IPC() >= rBig.IPC() {
+		t.Errorf("small window IPC %f >= big window IPC %f", rSmall.IPC(), rBig.IPC())
+	}
+}
+
+func TestMispredictsReduceIPC(t *testing.T) {
+	clean := []trace.Instruction{{Op: trace.OpBranch}, {Op: trace.OpInt}, {Op: trace.OpInt}, {Op: trace.OpInt}}
+	dirty := []trace.Instruction{{Op: trace.OpBranch, Mispredict: true}, {Op: trace.OpInt}, {Op: trace.OpInt}, {Op: trace.OpInt}}
+	rc := run(t, DefaultConfig(), clean, 8000, nil)
+	rd := run(t, DefaultConfig(), dirty, 8000, nil)
+	if rd.IPC() >= rc.IPC() {
+		t.Errorf("mispredicting IPC %f >= clean IPC %f", rd.IPC(), rc.IPC())
+	}
+	if rd.Mispredicts == 0 || rc.Mispredicts != 0 {
+		t.Errorf("mispredict counters: clean %d dirty %d", rc.Mispredicts, rd.Mispredicts)
+	}
+}
+
+func TestStoresRetireThroughPort(t *testing.T) {
+	mem := &fixedMem{fetchLat: 1, loadLat: 1, storeLat: 1}
+	res := run(t, DefaultConfig(), []trace.Instruction{{Op: trace.OpStore}}, 1000, mem)
+	if mem.stores != 1000 {
+		t.Errorf("port saw %d stores, want 1000", mem.stores)
+	}
+	if res.Stores != 1000 {
+		t.Errorf("result counted %d stores", res.Stores)
+	}
+}
+
+func TestResultCounters(t *testing.T) {
+	ins := []trace.Instruction{
+		{Op: trace.OpLoad}, {Op: trace.OpStore}, {Op: trace.OpBranch}, {Op: trace.OpInt},
+	}
+	res := run(t, DefaultConfig(), ins, 4000, nil)
+	if res.Instructions != 4000 {
+		t.Errorf("Instructions = %d", res.Instructions)
+	}
+	if res.Loads != 1000 || res.Stores != 1000 || res.Branches != 1000 {
+		t.Errorf("counters: %+v", res)
+	}
+	if res.Cycles == 0 || res.IPC() == 0 {
+		t.Error("no cycles recorded")
+	}
+	var empty Result
+	if empty.IPC() != 0 {
+		t.Error("IPC of empty result should be 0")
+	}
+}
+
+func TestRunContinuation(t *testing.T) {
+	mem := &fixedMem{fetchLat: 1, loadLat: 50, storeLat: 1}
+	c := New(DefaultConfig(), mem)
+	gen := &scripted{ins: []trace.Instruction{{Op: trace.OpLoad}, {Op: trace.OpInt, Dep1: 1}}}
+	r1 := c.Run(gen, 3000)
+	r2 := c.Run(gen, 3000)
+	if r2.Cycles == 0 {
+		t.Fatal("continuation run recorded no cycles")
+	}
+	// The second segment of a steady workload should cost about the same
+	// as the first (cycle accounting must not double-count the warm-up).
+	ratio := float64(r2.Cycles) / float64(r1.Cycles)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("segment cycle ratio %f, want ~1", ratio)
+	}
+}
+
+func TestFetchLatencyMatters(t *testing.T) {
+	fast := &fixedMem{fetchLat: 1, loadLat: 1, storeLat: 1}
+	slow := &fixedMem{fetchLat: 20, loadLat: 1, storeLat: 1}
+	rf := run(t, DefaultConfig(), []trace.Instruction{{Op: trace.OpInt}}, 4000, fast)
+	rs := run(t, DefaultConfig(), []trace.Instruction{{Op: trace.OpInt}}, 4000, slow)
+	if rs.IPC() >= rf.IPC() {
+		t.Errorf("slow fetch IPC %f >= fast fetch IPC %f", rs.IPC(), rf.IPC())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero widths did not panic")
+		}
+	}()
+	New(Config{}, &fixedMem{})
+}
+
+func TestIssueWidthBounds(t *testing.T) {
+	// Unbounded issue with wide fetch/commit lets bursts exceed 4/cycle;
+	// the issue regulator must hold the line.
+	wide := DefaultConfig()
+	wide.FetchWidth = 8
+	wide.CommitWidth = 8
+	wide.IssueWidth = 2
+	res := run(t, wide, []trace.Instruction{{Op: trace.OpInt}}, 10000, nil)
+	if ipc := res.IPC(); ipc > 2.01 {
+		t.Errorf("IPC %f exceeds the 2-wide issue stage", ipc)
+	}
+}
+
+func TestIssueWidthZeroMeansUnbounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IssueWidth = 0
+	res := run(t, cfg, []trace.Instruction{{Op: trace.OpInt}}, 10000, nil)
+	if ipc := res.IPC(); ipc < 3.5 {
+		t.Errorf("unbounded issue IPC %f, want ~4 (commit-limited)", ipc)
+	}
+}
+
+// barrierMem reports a fixed outstanding-check horizon.
+type barrierMem struct {
+	fixedMem
+	horizon uint64
+}
+
+func (m *barrierMem) Barrier(now uint64) uint64 {
+	if m.horizon > now {
+		return m.horizon
+	}
+	return now
+}
+
+func TestCryptoBarrierWaitsForChecks(t *testing.T) {
+	mem := &barrierMem{fixedMem: fixedMem{fetchLat: 1, loadLat: 1, storeLat: 1}, horizon: 50_000}
+	cfg := DefaultConfig()
+	c := New(cfg, mem)
+	gen := &scripted{ins: []trace.Instruction{{Op: trace.OpCrypto}}}
+	res := c.Run(gen, 1)
+	if res.Cycles < 50_000+cfg.CryptoLatency {
+		t.Errorf("crypto instruction committed at %d, before the %d-cycle check horizon",
+			res.Cycles, 50_000)
+	}
+	// Without a BarrierPort, crypto ops just take their latency.
+	plain := &fixedMem{fetchLat: 1, loadLat: 1, storeLat: 1}
+	c2 := New(cfg, plain)
+	res2 := c2.Run(&scripted{ins: []trace.Instruction{{Op: trace.OpCrypto}}}, 1)
+	if res2.Cycles > cfg.CryptoLatency+20 {
+		t.Errorf("crypto without barrier port took %d cycles", res2.Cycles)
+	}
+}

@@ -1,0 +1,56 @@
+// Package dram models the external DRAM's access timing: a fixed
+// first-chunk latency (80 CPU cycles in Table 1) followed by a streaming
+// transfer over the shared memory bus.
+package dram
+
+import "memverify/internal/bus"
+
+// DRAM is the timing model for the off-chip memory. Functional contents
+// live in mem.Memory; DRAM only answers "when".
+type DRAM struct {
+	// FirstChunkLatency is the cycles from request to the first data beat
+	// being available at the DRAM pins.
+	FirstChunkLatency uint64
+	// Bus carries every transfer; nil is not allowed.
+	Bus *bus.Bus
+
+	reads, writes uint64
+}
+
+// New returns a DRAM model with the given access latency in CPU cycles.
+func New(firstChunkLatency uint64, b *bus.Bus) *DRAM {
+	if b == nil {
+		panic("dram: nil bus")
+	}
+	return &DRAM{FirstChunkLatency: firstChunkLatency, Bus: b}
+}
+
+// Read schedules a block read of n bytes requested at cycle now.
+// It returns the cycle at which the critical first word is available to
+// the requester and the cycle the full block has arrived.
+func (d *DRAM) Read(now uint64, n int, class bus.Class) (critical, done uint64) {
+	d.reads++
+	return d.Bus.Reserve(now+d.FirstChunkLatency, n, class)
+}
+
+// Write schedules a block write of n bytes issued at cycle now and returns
+// the cycle the write has fully drained onto the bus. Writes are posted:
+// the requester does not wait for the DRAM array update.
+func (d *DRAM) Write(now uint64, n int, class bus.Class) (done uint64) {
+	d.writes++
+	_, done = d.Bus.Reserve(now, n, class)
+	return done
+}
+
+// Reads returns the number of read transactions issued.
+func (d *DRAM) Reads() uint64 { return d.reads }
+
+// Writes returns the number of write transactions issued.
+func (d *DRAM) Writes() uint64 { return d.writes }
+
+// Accesses returns reads + writes.
+func (d *DRAM) Accesses() uint64 { return d.reads + d.writes }
+
+// ResetCounters zeroes the transaction counters for post-warm-up
+// measurement.
+func (d *DRAM) ResetCounters() { d.reads, d.writes = 0, 0 }

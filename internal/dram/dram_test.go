@@ -1,0 +1,62 @@
+package dram
+
+import (
+	"testing"
+
+	"memverify/internal/bus"
+)
+
+func TestReadTiming(t *testing.T) {
+	b := bus.New(8, 5)
+	d := New(80, b)
+	critical, done := d.Read(0, 64, bus.Data)
+	if critical != 85 {
+		t.Errorf("critical word at %d, want 85 (80 latency + 1 beat)", critical)
+	}
+	if done != 120 {
+		t.Errorf("block done at %d, want 120 (80 + 8 beats)", done)
+	}
+}
+
+func TestWriteIsPosted(t *testing.T) {
+	b := bus.New(8, 5)
+	d := New(80, b)
+	done := d.Write(10, 64, bus.Data)
+	if done != 50 {
+		t.Errorf("write drained at %d, want 50 (no DRAM latency on posted writes)", done)
+	}
+}
+
+func TestReadsQueueOnBus(t *testing.T) {
+	b := bus.New(8, 5)
+	d := New(80, b)
+	_, done1 := d.Read(0, 64, bus.Data)
+	crit2, _ := d.Read(0, 64, bus.Hash)
+	if crit2 != done1+5 {
+		t.Errorf("second read critical %d, want %d", crit2, done1+5)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	b := bus.New(8, 5)
+	d := New(80, b)
+	d.Read(0, 64, bus.Data)
+	d.Read(0, 64, bus.Data)
+	d.Write(0, 64, bus.Data)
+	if d.Reads() != 2 || d.Writes() != 1 || d.Accesses() != 3 {
+		t.Errorf("counters: r %d w %d a %d", d.Reads(), d.Writes(), d.Accesses())
+	}
+	d.ResetCounters()
+	if d.Accesses() != 0 {
+		t.Error("ResetCounters failed")
+	}
+}
+
+func TestNewNilBusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with nil bus did not panic")
+		}
+	}()
+	New(80, nil)
+}

@@ -1,0 +1,116 @@
+package figures
+
+import (
+	"fmt"
+
+	"memverify/internal/core"
+	"memverify/internal/stats"
+)
+
+// Ablation studies for the design choices the paper fixes by fiat: tree
+// arity (the external-memory-overhead vs performance tradeoff the
+// abstract promises), hash-unit latency (§6.2 claims longer latencies are
+// absorbed by deeper buffers), L2 associativity (hash/data contention is
+// a replacement phenomenon) and protected-region size (the naive scheme's
+// log N cost against the cached scheme's locality).
+
+// AblationArities are the stored-record sizes swept: 8 B records give an
+// 8-ary tree (1/7 of memory for hashes), 16 B a 4-ary tree (1/3).
+var AblationArities = []int{8, 16}
+
+// AblationArity sweeps tree arity via the stored hash size for scheme c.
+func (p Params) AblationArity() *stats.Table {
+	t := stats.NewTable("Ablation: tree arity via hash size (scheme c, 1MB, 64B)",
+		"bench", "IPC 8B-hash (8-ary)", "IPC 16B-hash (4-ary)", "extra/miss 8B", "extra/miss 16B")
+	for _, b := range p.benches() {
+		var ipc, extra [2]float64
+		for i, hs := range AblationArities {
+			mt := p.runOne(b, func(c *core.Config) {
+				schemeCfg(core.SchemeCached)(c)
+				c.HashSize = hs
+			})
+			ipc[i] = mt.IPC
+			extra[i] = mt.ExtraPerMiss
+		}
+		t.AddRow(b.Name, ipc[0], ipc[1], extra[0], extra[1])
+	}
+	return t
+}
+
+// AblationHashLatencies are the pipeline depths swept, in cycles.
+var AblationHashLatencies = []uint64{20, 80, 160, 320}
+
+// AblationHashLatency sweeps the hash pipeline latency, scaling the
+// buffers proportionally as §6.2 prescribes ("longer latency
+// implementations could be accommodated ... by adding a proportional
+// number of entries in the buffers").
+func (p Params) AblationHashLatency() *stats.Table {
+	t := stats.NewTable("Ablation: hash latency with proportional buffers (scheme c, 1MB, 64B)",
+		"bench", "20cy/4buf", "80cy/16buf", "160cy/32buf", "320cy/64buf")
+	for _, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for _, lat := range AblationHashLatencies {
+			mt := p.runOne(b, func(c *core.Config) {
+				schemeCfg(core.SchemeCached)(c)
+				c.HashLatency = lat
+				c.HashBuffers = int(lat / 5)
+			})
+			row = append(row, mt.IPC)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// AblationAssocs are the L2 associativities swept.
+var AblationAssocs = []int{1, 2, 4, 8}
+
+// AblationAssoc sweeps L2 associativity for base and c: contention between
+// hash and data lines is a replacement phenomenon, so higher associativity
+// softens it.
+func (p Params) AblationAssoc() *stats.Table {
+	t := stats.NewTable("Ablation: L2 associativity (1MB, 64B), IPC base/c per way count",
+		"bench", "1-way c/base", "2-way c/base", "4-way c/base", "8-way c/base")
+	for _, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for _, ways := range AblationAssocs {
+			var ipc [2]float64
+			for i, s := range []core.Scheme{core.SchemeBase, core.SchemeCached} {
+				mt := p.runOne(b, func(c *core.Config) {
+					schemeCfg(s)(c)
+					c.L2Ways = ways
+				})
+				ipc[i] = mt.IPC
+			}
+			row = append(row, fmt.Sprintf("%.3f", ipc[1]/ipc[0]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// AblationProtectedSizes are the protected-region sizes swept.
+var AblationProtectedSizes = []uint64{256 << 20, 1 << 30, 4 << 30, 16 << 30}
+
+// AblationTreeDepth sweeps the protected-region size: the naive scheme's
+// extra reads grow with log N (the tree deepens), while the cached
+// scheme's stay flat — the core scaling argument of §5.3.
+func (p Params) AblationTreeDepth() *stats.Table {
+	t := stats.NewTable("Ablation: protected size vs extra reads per miss (256MB..16GB, 1MB L2)",
+		"bench", "naive 256MB", "naive 1GB", "naive 4GB", "naive 16GB",
+		"c 256MB", "c 1GB", "c 4GB", "c 16GB")
+	for _, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for _, s := range []core.Scheme{core.SchemeNaive, core.SchemeCached} {
+			for _, sz := range AblationProtectedSizes {
+				mt := p.runOne(b, func(c *core.Config) {
+					schemeCfg(s)(c)
+					c.ProtectedBytes = sz
+				})
+				row = append(row, mt.ExtraPerMiss)
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,236 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation section (§6) from fresh simulations: the IPC comparisons of
+// Figure 3, the miss-rate study of Figure 4, the extra-accesses and
+// bandwidth analysis of Figure 5, the hash-throughput and buffer-size
+// sweeps of Figures 6 and 7, and the reduced-memory-overhead schemes of
+// Figure 8. Both cmd/figures and the repository's benchmark suite drive
+// this package, so the printed output and the bench results come from the
+// same code.
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"memverify/internal/core"
+	"memverify/internal/stats"
+	"memverify/internal/trace"
+)
+
+// Params sets the per-point simulation budget.
+type Params struct {
+	Instructions uint64
+	Warmup       uint64
+	Seed         uint64
+	// Benchmarks defaults to the paper's nine SPEC profiles.
+	Benchmarks []trace.Profile
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+	// Observer, when non-nil, receives every run's configuration and
+	// metrics — the hook cmd/figures uses to emit machine-readable CSV
+	// alongside the tables.
+	Observer func(cfg core.Config, mt core.Metrics)
+}
+
+// DefaultParams returns a budget that completes the full figure suite in
+// minutes on one core while preserving every figure's shape.
+func DefaultParams() Params {
+	return Params{Instructions: 200_000, Warmup: 150_000, Seed: 1, Benchmarks: trace.Benchmarks}
+}
+
+func (p *Params) benches() []trace.Profile {
+	if len(p.Benchmarks) > 0 {
+		return p.Benchmarks
+	}
+	return trace.Benchmarks
+}
+
+// runOne executes a single configured simulation.
+func (p *Params) runOne(bench trace.Profile, mutate func(*core.Config)) core.Metrics {
+	cfg := core.DefaultConfig()
+	cfg.Benchmark = bench
+	cfg.Instructions = p.Instructions
+	cfg.Warmup = p.Warmup
+	cfg.Seed = p.Seed
+	mutate(&cfg)
+	mt, err := core.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("figures: invalid configuration for %s: %v", bench.Name, err))
+	}
+	if p.Progress != nil {
+		fmt.Fprintf(p.Progress, "  %s\n", mt)
+	}
+	if p.Observer != nil {
+		p.Observer(cfg, mt)
+	}
+	return mt
+}
+
+// CSVHeader is the column list WriteCSVRow emits values for.
+const CSVHeader = "bench,scheme,l2_bytes,block_bytes,chunk_blocks,hash_gbps,hash_buffers,protected_bytes,ipc,l2_data_missrate,extra_per_miss,extra_per_miss_all,bus_bytes,bus_hash_bytes,bus_utilization,dram_reads,dram_writes,violations"
+
+// WriteCSVRow renders one run in CSVHeader's column order.
+func WriteCSVRow(w io.Writer, cfg core.Config, mt core.Metrics) {
+	fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.2f,%d,%d,%.5f,%.6f,%.4f,%.4f,%d,%d,%.5f,%d,%d,%d\n",
+		cfg.Benchmark.Name, cfg.Scheme, cfg.L2Size, cfg.L2Block, cfg.ChunkBlocks,
+		cfg.HashBytesPerCycle, cfg.HashBuffers, cfg.ProtectedBytes,
+		mt.IPC, mt.DataMissRate, mt.ExtraPerMiss, mt.ExtraPerMissAll,
+		mt.BusBytes, mt.BusHashBytes, mt.BusUtilization,
+		mt.DRAMReads, mt.DRAMWrites, mt.Violations)
+}
+
+func schemeCfg(s core.Scheme) func(*core.Config) {
+	return func(c *core.Config) {
+		c.Scheme = s
+		if s == core.SchemeMulti || s == core.SchemeIncr {
+			c.ChunkBlocks = 2
+		}
+	}
+}
+
+// Fig3Config is one of the six cache configurations of Figure 3.
+type Fig3Config struct {
+	L2Size  int
+	L2Block int
+}
+
+// Fig3Configs are the paper's six L2 configurations, in figure order
+// (a)–(f).
+var Fig3Configs = []Fig3Config{
+	{256 << 10, 64}, {1 << 20, 64}, {4 << 20, 64},
+	{256 << 10, 128}, {1 << 20, 128}, {4 << 20, 128},
+}
+
+// Fig3 reproduces Figure 3: IPC of base, c and naive for one L2
+// configuration across all benchmarks.
+func (p Params) Fig3(cc Fig3Config) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 3 (%dKB, %dB): IPC of base / c / naive", cc.L2Size>>10, cc.L2Block),
+		"bench", "base", "c", "naive", "c/base", "naive/base")
+	for _, b := range p.benches() {
+		var ipc [3]float64
+		for i, s := range []core.Scheme{core.SchemeBase, core.SchemeCached, core.SchemeNaive} {
+			mt := p.runOne(b, func(c *core.Config) {
+				schemeCfg(s)(c)
+				c.L2Size = cc.L2Size
+				c.L2Block = cc.L2Block
+			})
+			ipc[i] = mt.IPC
+		}
+		t.AddRow(b.Name, ipc[0], ipc[1], ipc[2], ipc[1]/ipc[0], ipc[2]/ipc[0])
+	}
+	return t
+}
+
+// Fig4 reproduces Figure 4: L2 miss rates of program data for base and c,
+// with 256 KB and 4 MB caches (64 B blocks).
+func (p Params) Fig4() *stats.Table {
+	t := stats.NewTable("Figure 4: L2 program-data miss rate (%), 64B blocks",
+		"bench", "base-256K", "c-256K", "base-4M", "c-4M")
+	for _, b := range p.benches() {
+		var mr [4]float64
+		i := 0
+		for _, size := range []int{256 << 10, 4 << 20} {
+			for _, s := range []core.Scheme{core.SchemeBase, core.SchemeCached} {
+				mt := p.runOne(b, func(c *core.Config) {
+					schemeCfg(s)(c)
+					c.L2Size = size
+				})
+				mr[i] = 100 * mt.DataMissRate
+				i++
+			}
+		}
+		t.AddRow(b.Name, mr[0], mr[1], mr[2], mr[3])
+	}
+	return t
+}
+
+// Fig5 reproduces Figure 5: (a) additional memory blocks loaded per L2
+// miss and (b) memory bandwidth usage normalized to base, for c and naive
+// with a 1 MB, 64 B L2.
+func (p Params) Fig5() *stats.Table {
+	t := stats.NewTable("Figure 5: additional accesses per miss and normalized bandwidth (1MB, 64B)",
+		"bench", "extra/miss c", "extra/miss naive", "bandwidth c", "bandwidth naive")
+	for _, b := range p.benches() {
+		var extra [2]float64
+		var bw [2]float64
+		base := p.runOne(b, schemeCfg(core.SchemeBase))
+		for i, s := range []core.Scheme{core.SchemeCached, core.SchemeNaive} {
+			mt := p.runOne(b, schemeCfg(s))
+			extra[i] = mt.ExtraPerMiss
+			bw[i] = stats.Ratio(mt.BusBytes, base.BusBytes)
+		}
+		t.AddRow(b.Name, extra[0], extra[1], bw[0], bw[1])
+	}
+	return t
+}
+
+// Fig6Throughputs are the hash-unit throughputs of Figure 6 in GB/s.
+var Fig6Throughputs = []float64{6.4, 3.2, 1.6, 0.8}
+
+// Fig6 reproduces Figure 6: IPC of scheme c as the hash-unit throughput
+// varies (1 MB, 64 B L2). 6.4 GB/s is one hash per 10 cycles; 1.6 GB/s
+// equals the memory bus bandwidth.
+func (p Params) Fig6() *stats.Table {
+	t := stats.NewTable("Figure 6: IPC of c vs hash throughput (1MB, 64B)",
+		"bench", "6.4 GB/s", "3.2 GB/s", "1.6 GB/s", "0.8 GB/s")
+	for _, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for _, tp := range Fig6Throughputs {
+			mt := p.runOne(b, func(c *core.Config) {
+				schemeCfg(core.SchemeCached)(c)
+				c.HashBytesPerCycle = tp
+			})
+			row = append(row, mt.IPC)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig7Buffers are the read/write buffer sizes of Figure 7.
+var Fig7Buffers = []int{1, 2, 4, 8, 16, 32}
+
+// Fig7 reproduces Figure 7: IPC of scheme c as the hash buffer size
+// varies (1 MB, 64 B L2).
+func (p Params) Fig7() *stats.Table {
+	t := stats.NewTable("Figure 7: IPC of c vs hash buffer size (1MB, 64B)",
+		"bench", "1", "2", "4", "8", "16", "32")
+	for _, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for _, n := range Fig7Buffers {
+			mt := p.runOne(b, func(c *core.Config) {
+				schemeCfg(core.SchemeCached)(c)
+				c.HashBuffers = n
+			})
+			row = append(row, mt.IPC)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig8 reproduces Figure 8: IPC of the reduced-memory-overhead schemes —
+// c with 64 B and 128 B blocks, and m and i with two 64 B blocks per
+// chunk — with a 1 MB L2.
+func (p Params) Fig8() *stats.Table {
+	t := stats.NewTable("Figure 8: IPC of c-64B / c-128B / m-64B / i-64B (1MB L2)",
+		"bench", "c-64B", "c-128B", "m-64B", "i-64B")
+	for _, b := range p.benches() {
+		c64 := p.runOne(b, schemeCfg(core.SchemeCached))
+		c128 := p.runOne(b, func(c *core.Config) {
+			schemeCfg(core.SchemeCached)(c)
+			c.L2Block = 128
+		})
+		m64 := p.runOne(b, schemeCfg(core.SchemeMulti))
+		i64 := p.runOne(b, schemeCfg(core.SchemeIncr))
+		t.AddRow(b.Name, c64.IPC, c128.IPC, m64.IPC, i64.IPC)
+	}
+	return t
+}
+
+// Table1 renders the architectural-parameters table.
+func (p Params) Table1() string {
+	cfg := core.DefaultConfig()
+	return cfg.Table1()
+}

@@ -1,0 +1,99 @@
+package hashalg
+
+// Digest is an incremental hash computation over a byte stream, the
+// hash.Hash subset the repository needs: the hash unit digests cache
+// blocks as bus beats arrive, and applications (e.g. cmd/memtree) hash
+// files larger than memory. Implementations are not safe for concurrent
+// use.
+type Digest interface {
+	// Write absorbs more input. It never fails.
+	Write(p []byte) (int, error)
+	// Sum appends the current digest to b and returns the result. It does
+	// not change the underlying state, so more data can be written after.
+	Sum(b []byte) []byte
+	// Reset restores the initial state.
+	Reset()
+	// Size returns the digest length in bytes.
+	Size() int
+	// BlockSize returns the algorithm's internal block size.
+	BlockSize() int
+}
+
+// NewMD5 returns a streaming MD5 computation.
+func NewMD5() Digest { return &md5Digest{state: newMD5State()} }
+
+type md5Digest struct {
+	state *md5State
+}
+
+func (d *md5Digest) Write(p []byte) (int, error) {
+	d.state.write(p)
+	return len(p), nil
+}
+
+func (d *md5Digest) Sum(b []byte) []byte {
+	// Checksum on a copy so further writes continue from this state.
+	cp := *d.state
+	s := cp.checkSum()
+	return append(b, s[:]...)
+}
+
+func (d *md5Digest) Reset()         { d.state = newMD5State() }
+func (d *md5Digest) Size() int      { return 16 }
+func (d *md5Digest) BlockSize() int { return md5BlockSize }
+
+// NewSHA1 returns a streaming SHA-1 computation.
+func NewSHA1() Digest { return &sha1Digest{state: newSHA1State()} }
+
+type sha1Digest struct {
+	state *sha1State
+}
+
+func (d *sha1Digest) Write(p []byte) (int, error) {
+	d.state.write(p)
+	return len(p), nil
+}
+
+func (d *sha1Digest) Sum(b []byte) []byte {
+	cp := *d.state
+	s := cp.checkSum()
+	return append(b, s[:]...)
+}
+
+func (d *sha1Digest) Reset()         { d.state = newSHA1State() }
+func (d *sha1Digest) Size() int      { return 20 }
+func (d *sha1Digest) BlockSize() int { return sha1BlockSize }
+
+// NewDigest returns a streaming computation for a registered algorithm
+// name ("md5" or "sha1"; fnv128 is one-shot only).
+func NewDigest(name string) (Digest, error) {
+	switch name {
+	case "md5":
+		return NewMD5(), nil
+	case "sha1":
+		return NewSHA1(), nil
+	}
+	a, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	return &bufferedDigest{alg: a}, nil
+}
+
+// bufferedDigest adapts a one-shot Algorithm to the Digest interface by
+// buffering input; suitable only for bounded inputs (the simulator's
+// chunks are 64–512 bytes).
+type bufferedDigest struct {
+	alg Algorithm
+	buf []byte
+}
+
+func (d *bufferedDigest) Write(p []byte) (int, error) {
+	d.buf = append(d.buf, p...)
+	return len(p), nil
+}
+
+func (d *bufferedDigest) Sum(b []byte) []byte { return append(b, d.alg.Sum(d.buf)...) }
+func (d *bufferedDigest) Reset()              { d.buf = d.buf[:0] }
+func (d *bufferedDigest) Size() int           { return d.alg.Size() }
+func (d *bufferedDigest) BlockSize() int      { return 1 }

@@ -1,0 +1,117 @@
+package hashalg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestStreamingMatchesOneShot splits random input at random points and
+// checks the streaming digest equals the one-shot Sum for both
+// algorithms.
+func TestStreamingMatchesOneShot(t *testing.T) {
+	type alg struct {
+		name    string
+		oneShot Algorithm
+		stream  func() Digest
+	}
+	algs := []alg{
+		{"md5", MD5{}, NewMD5},
+		{"sha1", SHA1{}, NewSHA1},
+	}
+	for _, a := range algs {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			check := func(data []byte, cuts []uint8) bool {
+				d := a.stream()
+				rest := data
+				for _, c := range cuts {
+					if len(rest) == 0 {
+						break
+					}
+					n := int(c) % (len(rest) + 1)
+					d.Write(rest[:n])
+					rest = rest[n:]
+				}
+				d.Write(rest)
+				return bytes.Equal(d.Sum(nil), a.oneShot.Sum(data))
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSumDoesNotDisturbState interleaves Sum calls with writes.
+func TestSumDoesNotDisturbState(t *testing.T) {
+	d := NewMD5()
+	d.Write([]byte("hello "))
+	mid := d.Sum(nil)
+	d.Write([]byte("world"))
+	final := d.Sum(nil)
+	if bytes.Equal(mid, final) {
+		t.Fatal("digest did not change after more input")
+	}
+	want := MD5{}.Sum([]byte("hello world"))
+	if !bytes.Equal(final, want) {
+		t.Fatal("Sum mid-stream corrupted the state")
+	}
+	if !bytes.Equal(mid, MD5{}.Sum([]byte("hello "))) {
+		t.Fatal("mid-stream Sum wrong")
+	}
+}
+
+func TestDigestReset(t *testing.T) {
+	d := NewSHA1()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	if !bytes.Equal(d.Sum(nil), SHA1{}.Sum([]byte("abc"))) {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func TestDigestSumAppends(t *testing.T) {
+	d := NewMD5()
+	d.Write([]byte("x"))
+	prefix := []byte{1, 2, 3}
+	out := d.Sum(prefix)
+	if !bytes.Equal(out[:3], prefix) {
+		t.Fatal("Sum did not append to the prefix")
+	}
+	if len(out) != 3+d.Size() {
+		t.Fatalf("Sum length %d", len(out))
+	}
+}
+
+func TestDigestSizes(t *testing.T) {
+	if NewMD5().Size() != 16 || NewMD5().BlockSize() != 64 {
+		t.Error("md5 geometry")
+	}
+	if NewSHA1().Size() != 20 || NewSHA1().BlockSize() != 64 {
+		t.Error("sha1 geometry")
+	}
+}
+
+func TestNewDigestRegistry(t *testing.T) {
+	for _, name := range []string{"md5", "sha1", "fnv128"} {
+		d, err := NewDigest(name)
+		if err != nil {
+			t.Fatalf("NewDigest(%q): %v", name, err)
+		}
+		d.Write([]byte("abc"))
+		a, _ := New(name)
+		if !bytes.Equal(d.Sum(nil), a.Sum([]byte("abc"))) {
+			t.Errorf("%s: streaming != one-shot", name)
+		}
+		d.Reset()
+		d.Write([]byte("xyz"))
+		if !bytes.Equal(d.Sum(nil), a.Sum([]byte("xyz"))) {
+			t.Errorf("%s: reset misbehaved", name)
+		}
+	}
+	if _, err := NewDigest("nope"); err == nil {
+		t.Error("unknown digest accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package hashalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFeistelRoundTrip(t *testing.T) {
+	f := NewFeistel(MD5{}, []byte("key"))
+	check := func(block [16]byte) bool {
+		return f.Decrypt(f.Encrypt(block)) == block
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeistelInverseRoundTrip(t *testing.T) {
+	f := NewFeistel(SHA1{}, []byte("another key"))
+	check := func(block [16]byte) bool {
+		return f.Encrypt(f.Decrypt(block)) == block
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeistelPermutes(t *testing.T) {
+	f := NewFeistel(MD5{}, []byte("key"))
+	var zero [16]byte
+	if f.Encrypt(zero) == zero {
+		t.Error("Encrypt(0) == 0: suspicious identity")
+	}
+	a := f.Encrypt([16]byte{1})
+	b := f.Encrypt([16]byte{2})
+	if a == b {
+		t.Error("distinct plaintexts encrypted to the same ciphertext")
+	}
+}
+
+func TestFeistelKeySeparation(t *testing.T) {
+	f1 := NewFeistel(MD5{}, []byte("key-1"))
+	f2 := NewFeistel(MD5{}, []byte("key-2"))
+	var block [16]byte
+	for i := range block {
+		block[i] = byte(i)
+	}
+	if f1.Encrypt(block) == f2.Encrypt(block) {
+		t.Error("different keys produced the same ciphertext")
+	}
+}
+
+func TestFeistelDeterministic(t *testing.T) {
+	block := [16]byte{9, 8, 7}
+	a := NewFeistel(MD5{}, []byte("k")).Encrypt(block)
+	b := NewFeistel(MD5{}, []byte("k")).Encrypt(block)
+	if a != b {
+		t.Error("same key/plaintext gave different ciphertexts")
+	}
+}
+
+// TestFeistelDiffusion checks that a single plaintext bit flip changes
+// both halves of the ciphertext with 4 rounds.
+func TestFeistelDiffusion(t *testing.T) {
+	f := NewFeistel(MD5{}, []byte("diffusion"))
+	var base [16]byte
+	c0 := f.Encrypt(base)
+	flipped := base
+	flipped[15] ^= 1 // flip a bit in the right half
+	c1 := f.Encrypt(flipped)
+	leftChanged, rightChanged := false, false
+	for i := 0; i < 8; i++ {
+		if c0[i] != c1[i] {
+			leftChanged = true
+		}
+		if c0[8+i] != c1[8+i] {
+			rightChanged = true
+		}
+	}
+	if !leftChanged || !rightChanged {
+		t.Errorf("poor diffusion: left changed %v, right changed %v", leftChanged, rightChanged)
+	}
+}

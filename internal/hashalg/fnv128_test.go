@@ -1,0 +1,81 @@
+package hashalg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFNV128Basics(t *testing.T) {
+	var f FNV128
+	if f.Size() != 16 {
+		t.Errorf("Size() = %d, want 16", f.Size())
+	}
+	if f.Name() != "fnv128" {
+		t.Errorf("Name() = %q", f.Name())
+	}
+	if got := f.Sum([]byte("abc")); len(got) != 16 {
+		t.Errorf("digest length %d", len(got))
+	}
+}
+
+func TestFNV128Deterministic(t *testing.T) {
+	var f FNV128
+	check := func(data []byte) bool {
+		return bytes.Equal(f.Sum(data), f.Sum(data))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFNV128SingleBitAvalanche verifies that flipping any single bit of a
+// 64-byte chunk changes the digest — the property the simulator's tamper
+// tests rely on.
+func TestFNV128SingleBitAvalanche(t *testing.T) {
+	var f FNV128
+	base := make([]byte, 64)
+	for i := range base {
+		base[i] = byte(i)
+	}
+	want := f.Sum(base)
+	for i := 0; i < len(base)*8; i++ {
+		mod := append([]byte(nil), base...)
+		mod[i/8] ^= 1 << (i % 8)
+		if bytes.Equal(f.Sum(mod), want) {
+			t.Fatalf("flipping bit %d left digest unchanged", i)
+		}
+	}
+}
+
+// TestFNV128TrailingZeros checks that inputs differing only in length of a
+// zero suffix produce distinct digests (weakness of plain XOR folding that
+// the finalizer must prevent).
+func TestFNV128TrailingZeros(t *testing.T) {
+	var f FNV128
+	seen := make(map[string]int)
+	buf := make([]byte, 128)
+	for n := 0; n <= len(buf); n++ {
+		d := string(f.Sum(buf[:n]))
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[d] = n
+	}
+}
+
+func TestFNV128NoQuickCollisions(t *testing.T) {
+	var f FNV128
+	seen := make(map[string][]byte)
+	check := func(data []byte) bool {
+		d := string(f.Sum(data))
+		if prev, ok := seen[d]; ok {
+			return bytes.Equal(prev, data)
+		}
+		seen[d] = append([]byte(nil), data...)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+// Package hashalg implements the cryptographic primitives the secure
+// processor's hash unit models: MD5 (RFC 1321) and SHA-1 (RFC 3174) built
+// from scratch, a fast non-cryptographic 128-bit hash for long timing
+// sweeps, and the incremental XOR-MAC of Bellare, Guérin and Rogaway used
+// by the paper's `i` scheme (§5.5).
+//
+// The paper's hash unit truncates every digest to a fixed "hash length"
+// (128 bits in Table 1); Algorithm implementations here expose their native
+// digest and callers truncate via Truncate.
+package hashalg
+
+import "fmt"
+
+// Algorithm computes a one-shot digest over a byte slice. Implementations
+// must be safe for concurrent use by multiple goroutines.
+type Algorithm interface {
+	// Name returns a short identifier such as "md5" or "sha1".
+	Name() string
+	// Size returns the digest length in bytes.
+	Size() int
+	// Sum returns the digest of data in a freshly allocated slice.
+	Sum(data []byte) []byte
+}
+
+// New returns the algorithm registered under name: "md5", "sha1" or
+// "fnv128". It returns an error for unknown names.
+func New(name string) (Algorithm, error) {
+	switch name {
+	case "md5":
+		return MD5{}, nil
+	case "sha1":
+		return SHA1{}, nil
+	case "fnv128":
+		return FNV128{}, nil
+	}
+	return nil, fmt.Errorf("hashalg: unknown algorithm %q", name)
+}
+
+// Truncate returns the first n bytes of digest, which must be at least n
+// bytes long. It is how the secure processor reduces a native digest to the
+// tree's fixed hash length.
+func Truncate(digest []byte, n int) []byte {
+	if len(digest) < n {
+		panic(fmt.Sprintf("hashalg: cannot truncate %d-byte digest to %d bytes", len(digest), n))
+	}
+	return digest[:n]
+}

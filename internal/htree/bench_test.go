@@ -1,0 +1,69 @@
+package htree
+
+import (
+	"testing"
+
+	"memverify/internal/hashalg"
+	"memverify/internal/mem"
+)
+
+func benchTree(b *testing.B, dataBytes uint64) *Tree {
+	b.Helper()
+	l, err := NewLayout(64, 16, dataBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mem.NewSparse()
+	buf := make([]byte, dataBytes)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	m.Write(l.DataStart(), buf)
+	t := NewTree(l, hashalg.MD5{}, m)
+	t.Build()
+	return t
+}
+
+func BenchmarkBuild1MB(b *testing.B) {
+	l, _ := NewLayout(64, 16, 1<<20)
+	m := mem.NewSparse()
+	t := NewTree(l, hashalg.MD5{}, m)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		t.Build()
+	}
+}
+
+func BenchmarkVerifyChunkColdPath(b *testing.B) {
+	t := benchTree(b, 1<<20)
+	leaf := t.Layout.TotalChunks - 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := t.VerifyChunk(leaf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteData(b *testing.B) {
+	t := benchTree(b, 1<<20)
+	payload := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		if err := t.WriteData(uint64(i%1024)*64, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProveAndCheck(b *testing.B) {
+	t := benchTree(b, 1<<20)
+	root := t.Root()
+	leaf := t.Layout.TotalChunks - 1
+	for i := 0; i < b.N; i++ {
+		p := t.Prove(leaf)
+		if err := CheckProof(t.Layout, hashalg.MD5{}, root, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

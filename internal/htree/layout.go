@@ -1,0 +1,153 @@
+// Package htree implements the hash-tree memory layout of §5.6 and a
+// standalone functional Merkle tree over that layout.
+//
+// The protected physical memory is divided into equal-sized chunks,
+// numbered consecutively from zero; a chunk's number times the chunk size
+// is its address. Chunk 0 is the tree root (its hash lives in a secure
+// on-chip register); the parent of chunk c>0 is ⌊(c−1)/m⌋ and the hash of
+// chunk c occupies slot (c−1) mod m of its parent, where m is the tree's
+// arity (chunk size divided by hash size). Interior chunks come first, so
+// all the leaves — the program's data — are contiguous at the top of the
+// protected region, exactly as the paper lays them out.
+package htree
+
+import "fmt"
+
+// Layout captures the geometry of a hash tree in flat memory.
+type Layout struct {
+	// ChunkSize is the unit hashes are computed on, in bytes. In the c
+	// scheme it equals the L2 block size; in the m and i schemes it spans
+	// several blocks.
+	ChunkSize int
+	// HashSize is the stored hash (or MAC record) size in bytes.
+	HashSize int
+	// Arity m is ChunkSize/HashSize: how many child hashes one interior
+	// chunk holds.
+	Arity int
+	// DataChunks is the number of leaf chunks (protected program data).
+	DataChunks uint64
+	// InteriorChunks is the number of hash chunks preceding the data.
+	InteriorChunks uint64
+	// TotalChunks = InteriorChunks + DataChunks.
+	TotalChunks uint64
+}
+
+// NewLayout computes the layout protecting dataBytes of program data.
+// dataBytes is rounded up to a whole number of chunks.
+func NewLayout(chunkSize, hashSize int, dataBytes uint64) (*Layout, error) {
+	if chunkSize <= 0 || hashSize <= 0 {
+		return nil, fmt.Errorf("htree: chunk size %d and hash size %d must be positive", chunkSize, hashSize)
+	}
+	if chunkSize%hashSize != 0 {
+		return nil, fmt.Errorf("htree: chunk size %d not a multiple of hash size %d", chunkSize, hashSize)
+	}
+	m := chunkSize / hashSize
+	if m < 2 {
+		return nil, fmt.Errorf("htree: arity %d < 2 (chunk %dB, hash %dB)", m, chunkSize, hashSize)
+	}
+	if dataBytes == 0 {
+		return nil, fmt.Errorf("htree: nothing to protect")
+	}
+	d := (dataBytes + uint64(chunkSize) - 1) / uint64(chunkSize)
+	// Smallest interior count I with m·I ≥ I+D−1, so the first data chunk
+	// (index I) has no children inside the tree.
+	var interior uint64
+	if d > 1 {
+		interior = (d - 1 + uint64(m) - 2) / uint64(m-1) // ceil((D-1)/(m-1))
+	} else {
+		interior = 1 // a single data chunk still needs a root above it
+	}
+	return &Layout{
+		ChunkSize:      chunkSize,
+		HashSize:       hashSize,
+		Arity:          m,
+		DataChunks:     d,
+		InteriorChunks: interior,
+		TotalChunks:    interior + d,
+	}, nil
+}
+
+// Parent returns the parent chunk of c and the slot index of c's hash
+// within it. isRoot is true for chunk 0, whose hash lives in the secure
+// register rather than in any parent.
+func (l *Layout) Parent(c uint64) (parent uint64, slot int, isRoot bool) {
+	if c == 0 {
+		return 0, 0, true
+	}
+	return (c - 1) / uint64(l.Arity), int((c - 1) % uint64(l.Arity)), false
+}
+
+// Child returns the chunk number of child i of interior chunk c and
+// whether that child exists in the tree.
+func (l *Layout) Child(c uint64, i int) (uint64, bool) {
+	ch := c*uint64(l.Arity) + uint64(i) + 1
+	return ch, ch < l.TotalChunks
+}
+
+// HashAddr returns the physical address where chunk c's hash is stored.
+// ok is false for the root, whose hash is in the secure register.
+func (l *Layout) HashAddr(c uint64) (addr uint64, ok bool) {
+	p, slot, isRoot := l.Parent(c)
+	if isRoot {
+		return 0, false
+	}
+	return p*uint64(l.ChunkSize) + uint64(slot)*uint64(l.HashSize), true
+}
+
+// ChunkAddr returns the starting physical address of chunk c.
+func (l *Layout) ChunkAddr(c uint64) uint64 { return c * uint64(l.ChunkSize) }
+
+// ChunkOf returns the chunk containing physical address addr.
+func (l *Layout) ChunkOf(addr uint64) uint64 { return addr / uint64(l.ChunkSize) }
+
+// IsData reports whether chunk c is a leaf holding program data.
+func (l *Layout) IsData(c uint64) bool { return c >= l.InteriorChunks }
+
+// IsInterior reports whether chunk c holds child hashes.
+func (l *Layout) IsInterior(c uint64) bool { return c < l.InteriorChunks }
+
+// DataStart returns the physical address of the first data byte.
+func (l *Layout) DataStart() uint64 { return l.InteriorChunks * uint64(l.ChunkSize) }
+
+// Size returns the total physical footprint in bytes, tree included.
+func (l *Layout) Size() uint64 { return l.TotalChunks * uint64(l.ChunkSize) }
+
+// DataChunkFor maps an offset within the protected program region to its
+// leaf chunk number.
+func (l *Layout) DataChunkFor(dataOffset uint64) uint64 {
+	return l.InteriorChunks + dataOffset/uint64(l.ChunkSize)
+}
+
+// Depth returns the number of parent hops from chunk c to the root.
+func (l *Layout) Depth(c uint64) int {
+	d := 0
+	for c != 0 {
+		c, _, _ = l.Parent(c)
+		d++
+	}
+	return d
+}
+
+// Levels returns the depth of the deepest leaf: the number of stored
+// hashes a cold verification of that leaf must read. This is the paper's
+// log_m(N) cost — "tens of [hash] reads for each data access" without
+// caching.
+func (l *Layout) Levels() int { return l.Depth(l.TotalChunks - 1) }
+
+// PathToRoot returns the chunk numbers on the path from c (exclusive) up
+// to and including the root.
+func (l *Layout) PathToRoot(c uint64) []uint64 {
+	var path []uint64
+	for c != 0 {
+		p, _, _ := l.Parent(c)
+		path = append(path, p)
+		c = p
+	}
+	return path
+}
+
+// Overhead returns the fraction of protected memory consumed by hashes:
+// 1/(m−1) in the paper's accounting.
+func (l *Layout) Overhead() float64 {
+	return float64(l.InteriorChunks) / float64(l.TotalChunks)
+}

@@ -1,0 +1,244 @@
+package htree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustLayout(t *testing.T, chunk, hash int, data uint64) *Layout {
+	t.Helper()
+	l, err := NewLayout(chunk, hash, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewLayoutErrors(t *testing.T) {
+	cases := []struct {
+		chunk, hash int
+		data        uint64
+	}{
+		{0, 16, 1024},  // zero chunk
+		{64, 0, 1024},  // zero hash
+		{60, 16, 1024}, // not a multiple
+		{16, 16, 1024}, // arity 1
+		{64, 16, 0},    // nothing to protect
+	}
+	for i, c := range cases {
+		if _, err := NewLayout(c.chunk, c.hash, c.data); err == nil {
+			t.Errorf("case %d: NewLayout(%d,%d,%d) succeeded", i, c.chunk, c.hash, c.data)
+		}
+	}
+}
+
+func TestLayoutSmall(t *testing.T) {
+	// 64B chunks, 16B hashes (arity 4), 16 data chunks = 1KB protected.
+	l := mustLayout(t, 64, 16, 1024)
+	if l.Arity != 4 {
+		t.Errorf("arity %d", l.Arity)
+	}
+	if l.DataChunks != 16 {
+		t.Errorf("data chunks %d", l.DataChunks)
+	}
+	// ceil((16-1)/3) = 5 interior chunks.
+	if l.InteriorChunks != 5 {
+		t.Errorf("interior chunks %d, want 5", l.InteriorChunks)
+	}
+	if l.TotalChunks != 21 {
+		t.Errorf("total chunks %d", l.TotalChunks)
+	}
+	if l.DataStart() != 5*64 {
+		t.Errorf("data start %d", l.DataStart())
+	}
+	if l.Size() != 21*64 {
+		t.Errorf("size %d", l.Size())
+	}
+}
+
+func TestParentChildInverse(t *testing.T) {
+	l := mustLayout(t, 64, 16, 1<<20)
+	for c := uint64(1); c < l.TotalChunks; c++ {
+		p, slot, isRoot := l.Parent(c)
+		if isRoot {
+			t.Fatalf("chunk %d reported as root", c)
+		}
+		child, ok := l.Child(p, slot)
+		if !ok || child != c {
+			t.Fatalf("Child(Parent(%d)) = %d (ok %v)", c, child, ok)
+		}
+	}
+	if _, _, isRoot := l.Parent(0); !isRoot {
+		t.Error("chunk 0 must be the root")
+	}
+}
+
+func TestDataChunksAreLeaves(t *testing.T) {
+	l := mustLayout(t, 64, 16, 64*1024)
+	for c := uint64(0); c < l.TotalChunks; c++ {
+		hasChild := false
+		for i := 0; i < l.Arity; i++ {
+			if _, ok := l.Child(c, i); ok {
+				hasChild = true
+			}
+		}
+		if l.IsData(c) && hasChild {
+			t.Fatalf("data chunk %d has children", c)
+		}
+		if l.IsInterior(c) != !l.IsData(c) {
+			t.Fatalf("chunk %d: interior/data partition broken", c)
+		}
+	}
+	// Every interior chunk except possibly the ragged tail must have at
+	// least one child.
+	for c := uint64(0); c < l.InteriorChunks; c++ {
+		if _, ok := l.Child(c, 0); !ok {
+			t.Fatalf("interior chunk %d has no children at all", c)
+		}
+	}
+}
+
+func TestHashAddrInsideParent(t *testing.T) {
+	l := mustLayout(t, 64, 16, 32*1024)
+	for c := uint64(1); c < l.TotalChunks; c++ {
+		addr, ok := l.HashAddr(c)
+		if !ok {
+			t.Fatalf("chunk %d has no hash address", c)
+		}
+		p, slot, _ := l.Parent(c)
+		if l.ChunkOf(addr) != p {
+			t.Fatalf("hash of %d stored in chunk %d, want parent %d", c, l.ChunkOf(addr), p)
+		}
+		if want := l.ChunkAddr(p) + uint64(slot*l.HashSize); addr != want {
+			t.Fatalf("hash addr %#x, want %#x", addr, want)
+		}
+	}
+	if _, ok := l.HashAddr(0); ok {
+		t.Error("root hash must live in the secure register, not memory")
+	}
+}
+
+func TestAddressChunkRoundTrip(t *testing.T) {
+	l := mustLayout(t, 128, 16, 1<<20)
+	check := func(off uint32) bool {
+		addr := uint64(off) % l.Size()
+		c := l.ChunkOf(addr)
+		return l.ChunkAddr(c) <= addr && addr < l.ChunkAddr(c)+uint64(l.ChunkSize)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataChunkFor(t *testing.T) {
+	l := mustLayout(t, 64, 16, 4096)
+	for off := uint64(0); off < 4096; off += 64 {
+		c := l.DataChunkFor(off)
+		if !l.IsData(c) {
+			t.Fatalf("offset %d mapped to interior chunk %d", off, c)
+		}
+		if l.ChunkAddr(c) != l.DataStart()+off {
+			t.Fatalf("offset %d: chunk addr %#x", off, l.ChunkAddr(c))
+		}
+	}
+}
+
+func TestDepthAndLevels(t *testing.T) {
+	l := mustLayout(t, 64, 16, 1<<20) // 16384 data chunks, arity 4
+	if l.Depth(0) != 0 {
+		t.Error("root depth must be 0")
+	}
+	// Depth of any child is parent's depth + 1.
+	for c := uint64(1); c < 200; c++ {
+		p, _, _ := l.Parent(c)
+		if l.Depth(c) != l.Depth(p)+1 {
+			t.Fatalf("depth(%d) != depth(parent)+1", c)
+		}
+	}
+	levels := l.Levels()
+	// 4-ary tree over 16K leaves: about log4(16K) = 7 levels (+1 for the
+	// layout's imbalance tolerance).
+	if levels < 7 || levels > 9 {
+		t.Errorf("Levels = %d, want ~7-9", levels)
+	}
+	if got := l.Depth(l.TotalChunks - 1); got != levels {
+		t.Errorf("deepest leaf depth %d != Levels %d", got, levels)
+	}
+}
+
+// TestLevelsMatchPaper checks the headline configuration: a 4 GB protected
+// region with 64 B chunks and 128-bit hashes yields the paper's 13-level
+// path ("thirteen additional memory reads").
+func TestLevelsMatchPaper(t *testing.T) {
+	l := mustLayout(t, 64, 16, 4<<30)
+	if l.Levels() != 13 {
+		t.Errorf("Levels = %d, want 13", l.Levels())
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	l := mustLayout(t, 64, 16, 64*1024)
+	c := l.TotalChunks - 1
+	path := l.PathToRoot(c)
+	if len(path) != l.Depth(c) {
+		t.Fatalf("path length %d != depth %d", len(path), l.Depth(c))
+	}
+	if path[len(path)-1] != 0 {
+		t.Error("path does not end at the root")
+	}
+	cur := c
+	for _, p := range path {
+		want, _, _ := l.Parent(cur)
+		if p != want {
+			t.Fatalf("path hop %d != parent %d", p, want)
+		}
+		cur = p
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	// With arity 4, the paper says a quarter of memory goes to hashes;
+	// asymptotically interior/total -> 1/4.
+	l := mustLayout(t, 64, 16, 16<<20)
+	if ov := l.Overhead(); ov < 0.24 || ov > 0.26 {
+		t.Errorf("overhead %f, want ~0.25", ov)
+	}
+}
+
+func TestLayoutSingleDataChunk(t *testing.T) {
+	l := mustLayout(t, 64, 16, 10) // rounds up to one data chunk
+	if l.DataChunks != 1 || l.InteriorChunks != 1 {
+		t.Fatalf("layout: %+v", l)
+	}
+	// The single data chunk is chunk 1, child 0 of the root.
+	p, slot, isRoot := l.Parent(1)
+	if isRoot || p != 0 || slot != 0 {
+		t.Errorf("Parent(1) = %d,%d,%v", p, slot, isRoot)
+	}
+}
+
+func TestLayoutProperties(t *testing.T) {
+	check := func(chunkPow, dataPow uint8) bool {
+		chunk := 32 << (chunkPow % 3) // 32, 64, 128
+		data := uint64(1) << (10 + dataPow%10)
+		l, err := NewLayout(chunk, 16, data)
+		if err != nil {
+			return false
+		}
+		// Data region must cover the requested bytes.
+		if l.DataChunks*uint64(l.ChunkSize) < data {
+			return false
+		}
+		// Parent is always a lower-numbered interior chunk.
+		for c := uint64(1); c < l.TotalChunks; c += 1 + l.TotalChunks/64 {
+			p, _, _ := l.Parent(c)
+			if p >= c || !l.IsInterior(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

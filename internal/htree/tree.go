@@ -1,0 +1,245 @@
+package htree
+
+import (
+	"bytes"
+	"fmt"
+
+	"memverify/internal/hashalg"
+	"memverify/internal/mem"
+)
+
+// Tree is a functional Merkle tree over a Layout in flat memory: the
+// reference implementation the timed integrity engines are checked
+// against, and a standalone library for applications that want verified
+// storage without the processor simulator.
+//
+// The root hash is held inside the Tree value, modeling the secure
+// on-chip register of Figure 1.
+type Tree struct {
+	Layout *Layout
+	alg    hashalg.Algorithm
+	memory mem.Memory
+	root   []byte
+}
+
+// TamperError reports a verification failure: the chunk whose recomputed
+// hash disagreed with its stored parent hash.
+type TamperError struct {
+	Chunk uint64
+	Want  []byte // stored (trusted-side) hash
+	Got   []byte // hash recomputed from memory contents
+}
+
+// Error implements error.
+func (e *TamperError) Error() string {
+	return fmt.Sprintf("htree: integrity violation at chunk %d: stored hash %x, computed %x", e.Chunk, e.Want, e.Got)
+}
+
+// NewTree wires a tree over memory with the given layout and hash
+// algorithm. The tree is not valid until Build (or a full set of writes
+// through UpdateData) has populated the stored hashes.
+func NewTree(l *Layout, alg hashalg.Algorithm, memory mem.Memory) *Tree {
+	if alg.Size() < l.HashSize {
+		panic(fmt.Sprintf("htree: algorithm %s digest %dB shorter than layout hash %dB", alg.Name(), alg.Size(), l.HashSize))
+	}
+	return &Tree{Layout: l, alg: alg, memory: memory}
+}
+
+// Memory exposes the tree's backing store, e.g. for serializing the
+// interior chunks or interposing an adversary.
+func (t *Tree) Memory() mem.Memory { return t.memory }
+
+// SetMemory swaps the backing store (used to interpose an adversary).
+func (t *Tree) SetMemory(m mem.Memory) { t.memory = m }
+
+// HashChunk computes the stored hash of chunk c from current memory.
+func (t *Tree) HashChunk(c uint64) []byte {
+	buf := make([]byte, t.Layout.ChunkSize)
+	t.memory.Read(t.Layout.ChunkAddr(c), buf)
+	return hashalg.Truncate(t.alg.Sum(buf), t.Layout.HashSize)
+}
+
+// Build computes every interior hash bottom-up and installs the root in
+// the secure register, making the current memory contents authentic.
+func (t *Tree) Build() {
+	// Hash chunks from the last interior chunk down to 0; children always
+	// have higher numbers than parents, so a reverse sweep sees children
+	// finalized before their parent is hashed.
+	for c := t.Layout.TotalChunks - 1; ; c-- {
+		h := t.HashChunk(c)
+		if addr, ok := t.Layout.HashAddr(c); ok {
+			t.memory.Write(addr, h)
+		} else {
+			t.root = h
+		}
+		if c == 0 {
+			break
+		}
+	}
+}
+
+// Root returns a copy of the secure root hash.
+func (t *Tree) Root() []byte {
+	r := make([]byte, len(t.root))
+	copy(r, t.root)
+	return r
+}
+
+// SetRoot installs a previously saved root (e.g. resuming a persisted
+// tree).
+func (t *Tree) SetRoot(r []byte) {
+	t.root = make([]byte, len(r))
+	copy(t.root, r)
+}
+
+// storedHash reads chunk c's hash from its parent (or the register).
+func (t *Tree) storedHash(c uint64) []byte {
+	addr, ok := t.Layout.HashAddr(c)
+	if !ok {
+		return t.Root()
+	}
+	h := make([]byte, t.Layout.HashSize)
+	t.memory.Read(addr, h)
+	return h
+}
+
+// VerifyChunk checks chunk c against its stored hash and then every
+// ancestor against theirs, up to the secure root — a full cold
+// verification path. It returns a *TamperError describing the first
+// mismatch, or nil.
+func (t *Tree) VerifyChunk(c uint64) error {
+	for {
+		got := t.HashChunk(c)
+		want := t.storedHash(c)
+		if !bytes.Equal(got, want) {
+			return &TamperError{Chunk: c, Want: want, Got: got}
+		}
+		if c == 0 {
+			return nil
+		}
+		c, _, _ = t.Layout.Parent(c)
+	}
+}
+
+// VerifyAddr verifies the chunk containing physical address addr.
+func (t *Tree) VerifyAddr(addr uint64) error {
+	return t.VerifyChunk(t.Layout.ChunkOf(addr))
+}
+
+// VerifyAll sweeps every chunk. It is O(N·log N) and intended for tests
+// and post-attack forensics, not the hot path.
+func (t *Tree) VerifyAll() error {
+	for c := uint64(0); c < t.Layout.TotalChunks; c++ {
+		if err := t.VerifyChunk(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadData verifies and reads len(p) bytes at offset off within the
+// protected data region.
+func (t *Tree) ReadData(off uint64, p []byte) error {
+	addr := t.Layout.DataStart() + off
+	end := addr + uint64(len(p))
+	for ca := addr &^ (uint64(t.Layout.ChunkSize) - 1); ca < end; ca += uint64(t.Layout.ChunkSize) {
+		if err := t.VerifyChunk(t.Layout.ChunkOf(ca)); err != nil {
+			return err
+		}
+	}
+	t.memory.Read(addr, p)
+	return nil
+}
+
+// WriteData verifies the affected chunks, writes p at offset off within
+// the protected data region, and updates every hash on the paths to the
+// root, preserving the tree invariant.
+func (t *Tree) WriteData(off uint64, p []byte) error {
+	addr := t.Layout.DataStart() + off
+	end := addr + uint64(len(p))
+	// Check before modify, so a tampered chunk cannot be laundered by a
+	// partial overwrite recomputing its hash.
+	for ca := addr &^ (uint64(t.Layout.ChunkSize) - 1); ca < end; ca += uint64(t.Layout.ChunkSize) {
+		if err := t.VerifyChunk(t.Layout.ChunkOf(ca)); err != nil {
+			return err
+		}
+	}
+	t.memory.Write(addr, p)
+	for ca := addr &^ (uint64(t.Layout.ChunkSize) - 1); ca < end; ca += uint64(t.Layout.ChunkSize) {
+		t.rehashPath(t.Layout.ChunkOf(ca))
+	}
+	return nil
+}
+
+// rehashPath recomputes the hashes from chunk c up to the root after c's
+// contents changed.
+func (t *Tree) rehashPath(c uint64) {
+	for {
+		h := t.HashChunk(c)
+		addr, ok := t.Layout.HashAddr(c)
+		if !ok {
+			t.root = h
+			return
+		}
+		t.memory.Write(addr, h)
+		c, _, _ = t.Layout.Parent(c)
+	}
+}
+
+// Proof is a self-contained inclusion proof for one chunk: the chunk's
+// ancestors' contents. A verifier holding only the root can replay it.
+type Proof struct {
+	Chunk  uint64
+	Chunks [][]byte // chunk c's bytes, then each ancestor chunk's bytes up to the root chunk
+	Path   []uint64 // chunk numbers: c, parent(c), ..., 0
+}
+
+// Prove extracts an inclusion proof for chunk c from current memory.
+func (t *Tree) Prove(c uint64) *Proof {
+	p := &Proof{Chunk: c}
+	for {
+		buf := make([]byte, t.Layout.ChunkSize)
+		t.memory.Read(t.Layout.ChunkAddr(c), buf)
+		p.Chunks = append(p.Chunks, buf)
+		p.Path = append(p.Path, c)
+		if c == 0 {
+			return p
+		}
+		c, _, _ = t.Layout.Parent(c)
+	}
+}
+
+// CheckProof verifies an inclusion proof against a root hash using only
+// the layout and algorithm — no memory access. It returns nil if the
+// proof authenticates proof.Chunks[0] as chunk proof.Chunk under root.
+func CheckProof(l *Layout, alg hashalg.Algorithm, root []byte, proof *Proof) error {
+	if len(proof.Chunks) == 0 || len(proof.Chunks) != len(proof.Path) || proof.Path[0] != proof.Chunk {
+		return fmt.Errorf("htree: malformed proof")
+	}
+	c := proof.Chunk
+	for i, chunk := range proof.Chunks {
+		if len(chunk) != l.ChunkSize {
+			return fmt.Errorf("htree: proof chunk %d has size %d, want %d", i, len(chunk), l.ChunkSize)
+		}
+		if proof.Path[i] != c {
+			return fmt.Errorf("htree: proof path mismatch at step %d", i)
+		}
+		h := hashalg.Truncate(alg.Sum(chunk), l.HashSize)
+		parent, slot, isRoot := l.Parent(c)
+		if isRoot {
+			if !bytes.Equal(h, root) {
+				return &TamperError{Chunk: c, Want: root, Got: h}
+			}
+			return nil
+		}
+		if i+1 >= len(proof.Chunks) {
+			return fmt.Errorf("htree: proof truncated before root")
+		}
+		stored := proof.Chunks[i+1][slot*l.HashSize : (slot+1)*l.HashSize]
+		if !bytes.Equal(h, stored) {
+			return &TamperError{Chunk: c, Want: stored, Got: h}
+		}
+		c = parent
+	}
+	return fmt.Errorf("htree: proof did not reach root")
+}

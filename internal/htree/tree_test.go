@@ -1,0 +1,243 @@
+package htree
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"memverify/internal/hashalg"
+	"memverify/internal/mem"
+)
+
+func newTestTree(t *testing.T, dataBytes uint64) (*Tree, *mem.Sparse) {
+	t.Helper()
+	l, err := NewLayout(64, 16, dataBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewSparse()
+	// Fill the data region with a pattern so hashes are non-trivial.
+	buf := make([]byte, l.DataChunks*uint64(l.ChunkSize))
+	for i := range buf {
+		buf[i] = byte(i*37 + 11)
+	}
+	m.Write(l.DataStart(), buf)
+	tr := NewTree(l, hashalg.MD5{}, m)
+	tr.Build()
+	return tr, m
+}
+
+func TestBuildAndVerifyAll(t *testing.T) {
+	tr, _ := newTestTree(t, 4096)
+	if err := tr.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root()) != 16 {
+		t.Errorf("root length %d", len(tr.Root()))
+	}
+}
+
+// TestAnySingleByteCorruptionDetected flips every byte of the protected
+// region (data and interior hashes) in turn and checks the affected
+// chunk's verification fails.
+func TestAnySingleByteCorruptionDetected(t *testing.T) {
+	tr, m := newTestTree(t, 1024)
+	size := tr.Layout.Size()
+	for addr := uint64(0); addr < size; addr += 7 { // stride keeps it fast
+		var b [1]byte
+		m.Read(addr, b[:])
+		m.Write(addr, []byte{b[0] ^ 0x40})
+		if err := tr.VerifyChunk(tr.Layout.ChunkOf(addr)); err == nil {
+			t.Fatalf("corruption at %#x undetected", addr)
+		}
+		m.Write(addr, b[:]) // restore
+		if err := tr.VerifyChunk(tr.Layout.ChunkOf(addr)); err != nil {
+			t.Fatalf("restore at %#x did not verify: %v", addr, err)
+		}
+	}
+}
+
+func TestVerifyAllFindsDeepCorruption(t *testing.T) {
+	tr, m := newTestTree(t, 8192)
+	// Corrupt a stored hash inside an interior chunk.
+	addr, _ := tr.Layout.HashAddr(tr.Layout.TotalChunks - 1)
+	var b [1]byte
+	m.Read(addr, b[:])
+	m.Write(addr, []byte{b[0] ^ 1})
+	err := tr.VerifyAll()
+	if err == nil {
+		t.Fatal("corrupted stored hash undetected")
+	}
+	if _, ok := err.(*TamperError); !ok {
+		t.Fatalf("error type %T", err)
+	}
+}
+
+func TestWriteDataUpdatesPath(t *testing.T) {
+	tr, _ := newTestTree(t, 4096)
+	rootBefore := tr.Root()
+	if err := tr.WriteData(100, []byte("new contents!")); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(tr.Root(), rootBefore) {
+		t.Error("root unchanged after data write")
+	}
+	if err := tr.VerifyAll(); err != nil {
+		t.Fatalf("tree inconsistent after write: %v", err)
+	}
+	got := make([]byte, 13)
+	if err := tr.ReadData(100, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents!" {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestWriteDataCrossChunk(t *testing.T) {
+	tr, _ := newTestTree(t, 4096)
+	payload := bytes.Repeat([]byte{0xEE}, 200) // spans 4 chunks
+	if err := tr.WriteData(60, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 200)
+	if err := tr.ReadData(60, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("cross-chunk payload mismatch")
+	}
+}
+
+func TestWriteRefusesTamperedChunk(t *testing.T) {
+	tr, m := newTestTree(t, 1024)
+	// Tamper with the chunk about to be partially overwritten; the write
+	// must detect it rather than launder the corruption into a new hash.
+	addr := tr.Layout.DataStart() + 64
+	m.Write(addr, []byte{0xBA, 0xD0})
+	if err := tr.WriteData(64, []byte{1}); err == nil {
+		t.Fatal("partial write over tampered chunk succeeded")
+	}
+}
+
+func TestReadDetectsReplay(t *testing.T) {
+	tr, _ := newTestTree(t, 1024)
+	adv := mem.NewAdversary(tr.Memory())
+	tr.SetMemory(adv)
+
+	snap := adv.Snapshot(tr.Layout.DataStart(), 64)
+	if err := tr.WriteData(0, bytes.Repeat([]byte{0x11}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	adv.Replay(snap)
+	buf := make([]byte, 8)
+	if err := tr.ReadData(0, buf); err == nil {
+		t.Fatal("replayed stale data verified")
+	}
+}
+
+func TestRootPersistence(t *testing.T) {
+	tr, m := newTestTree(t, 1024)
+	root := tr.Root()
+	tr2 := NewTree(tr.Layout, hashalg.MD5{}, m)
+	tr2.SetRoot(root)
+	if err := tr2.VerifyAll(); err != nil {
+		t.Fatalf("resumed tree does not verify: %v", err)
+	}
+	// Mutating the returned root copy must not affect the tree.
+	root[0] ^= 1
+	if err := tr2.VerifyAll(); err != nil {
+		t.Fatal("Root() returned aliased storage")
+	}
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	tr, _ := newTestTree(t, 4096)
+	for c := uint64(0); c < tr.Layout.TotalChunks; c++ {
+		p := tr.Prove(c)
+		if err := CheckProof(tr.Layout, hashalg.MD5{}, tr.Root(), p); err != nil {
+			t.Fatalf("proof for chunk %d rejected: %v", c, err)
+		}
+	}
+}
+
+func TestProofTamperRejected(t *testing.T) {
+	tr, _ := newTestTree(t, 4096)
+	p := tr.Prove(tr.Layout.TotalChunks - 1)
+	p.Chunks[0][5] ^= 1
+	if CheckProof(tr.Layout, hashalg.MD5{}, tr.Root(), p) == nil {
+		t.Fatal("tampered proof accepted")
+	}
+}
+
+func TestProofWrongRootRejected(t *testing.T) {
+	tr, _ := newTestTree(t, 4096)
+	p := tr.Prove(7)
+	root := tr.Root()
+	root[3] ^= 1
+	if CheckProof(tr.Layout, hashalg.MD5{}, root, p) == nil {
+		t.Fatal("proof accepted under wrong root")
+	}
+}
+
+func TestProofMalformedRejected(t *testing.T) {
+	tr, _ := newTestTree(t, 4096)
+	good := tr.Prove(7)
+
+	bad := &Proof{Chunk: 7}
+	if CheckProof(tr.Layout, hashalg.MD5{}, tr.Root(), bad) == nil {
+		t.Error("empty proof accepted")
+	}
+	truncated := &Proof{Chunk: good.Chunk, Chunks: good.Chunks[:1], Path: good.Path[:1]}
+	if CheckProof(tr.Layout, hashalg.MD5{}, tr.Root(), truncated) == nil {
+		t.Error("truncated proof accepted")
+	}
+	short := &Proof{Chunk: good.Chunk, Chunks: [][]byte{good.Chunks[0][:10]}, Path: good.Path[:1]}
+	if CheckProof(tr.Layout, hashalg.MD5{}, tr.Root(), short) == nil {
+		t.Error("short-chunk proof accepted")
+	}
+}
+
+// TestRandomWritesKeepTreeConsistent is the main functional property: any
+// sequence of writes through the tree keeps VerifyAll passing and reads
+// return the latest data.
+func TestRandomWritesKeepTreeConsistent(t *testing.T) {
+	tr, _ := newTestTree(t, 2048)
+	shadow := make([]byte, 2048)
+	buf := make([]byte, 2048)
+	if err := tr.ReadData(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(shadow, buf)
+
+	check := func(off uint16, val byte, n uint8) bool {
+		start := uint64(off) % 2048
+		length := uint64(n)%64 + 1
+		if start+length > 2048 {
+			length = 2048 - start
+		}
+		payload := bytes.Repeat([]byte{val}, int(length))
+		if err := tr.WriteData(start, payload); err != nil {
+			return false
+		}
+		copy(shadow[start:start+length], payload)
+		got := make([]byte, length)
+		if err := tr.ReadData(start, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, shadow[start:start+length]) && tr.VerifyAll() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperErrorMessage(t *testing.T) {
+	e := &TamperError{Chunk: 3, Want: []byte{1}, Got: []byte{2}}
+	if e.Error() == "" {
+		t.Error("empty error message")
+	}
+}

@@ -1,0 +1,46 @@
+package integrity
+
+import (
+	"testing"
+
+	"memverify/internal/trace"
+)
+
+// benchEngine builds a functional rig for engine micro-benchmarks.
+func benchEngine(b *testing.B, scheme string) (*rig, []uint64) {
+	b.Helper()
+	r := newRig(b, defaultRig(scheme))
+	return r, r.dataBlocks()
+}
+
+func BenchmarkEngineReadMiss(b *testing.B) {
+	for _, scheme := range []string{"base", "naive", "c", "m", "i"} {
+		scheme := scheme
+		b.Run(scheme, func(b *testing.B) {
+			r, blocks := benchEngine(b, scheme)
+			rng := trace.NewRNG(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ba := blocks[rng.Intn(len(blocks))]
+				r.sys.L2.Invalidate(ba)
+				r.read(ba)
+			}
+		})
+	}
+}
+
+func BenchmarkEngineWriteBack(b *testing.B) {
+	for _, scheme := range []string{"c", "m", "i"} {
+		scheme := scheme
+		b.Run(scheme, func(b *testing.B) {
+			r, blocks := benchEngine(b, scheme)
+			data := make([]byte, r.sys.BlockSize())
+			for i := 0; i < b.N; i++ {
+				ba := blocks[i%len(blocks)]
+				r.write(ba, data)
+				victim := r.sys.L2.Invalidate(ba)
+				r.engine.Evict(r.now, victim)
+			}
+		})
+	}
+}

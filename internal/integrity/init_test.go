@@ -1,0 +1,110 @@
+package integrity
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestInitializeByTouch runs the full §5.7.2 boot procedure for the hash
+// engines and checks the resulting tree authenticates current memory.
+func TestInitializeByTouch(t *testing.T) {
+	for _, scheme := range []string{"c", "m", "naive"} {
+		t.Run(scheme, func(t *testing.T) {
+			cfg := defaultRig(scheme)
+			if scheme == "m" {
+				cfg.chunkBlocks = 2
+			}
+			cfg.protected = 16 << 10 // keep touching cheap
+			r := newRig(t, cfg)
+
+			// Wreck the stored tree so only the procedure can rebuild it.
+			for c := uint64(0); c < r.sys.Layout.InteriorChunks; c++ {
+				r.adv.Corrupt(r.sys.Layout.ChunkAddr(c), 0xFF)
+			}
+			r.sys.Root = nil
+
+			done, err := InitializeByTouch(r.engine, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done == 0 {
+				t.Error("initialization consumed no cycles")
+			}
+			if !r.sys.CheckReads {
+				t.Error("exceptions not re-armed after initialization")
+			}
+			r.evictAll()
+			if err := r.verifyMemoryTree(); err != nil {
+				t.Fatalf("tree not rebuilt correctly: %v", err)
+			}
+			// A normal read must verify cleanly now.
+			r.sys.ResetStats()
+			r.read(r.dataBlocks()[1])
+			if r.sys.Stat.Violations != 0 {
+				t.Fatalf("post-init read raised: %v", r.sys.First)
+			}
+		})
+	}
+}
+
+// TestInitializeByTouchRejectsIncremental pins the paper's footnote: the i
+// scheme cannot use the flush trick.
+func TestInitializeByTouchRejectsIncremental(t *testing.T) {
+	r := newRig(t, defaultRig("i"))
+	if _, err := InitializeByTouch(r.engine, 0); err == nil {
+		t.Fatal("touch initialization accepted for the i scheme")
+	}
+}
+
+// TestInitializeByTouchNeedsFunctional checks the guard for timing-only
+// systems.
+func TestInitializeByTouchNeedsFunctional(t *testing.T) {
+	r := newRig(t, defaultRig("c"))
+	r.sys.Functional = false
+	if _, err := InitializeByTouch(r.engine, 0); err == nil {
+		t.Fatal("touch initialization accepted for a timing-only system")
+	}
+}
+
+// TestInitializeTreeMatchesReference compares the engine's bottom-up build
+// with the standalone htree implementation for the hash engines.
+func TestInitializeTreeMatchesReference(t *testing.T) {
+	for _, scheme := range []string{"c", "naive"} {
+		r := newRig(t, defaultRig(scheme)) // rig already ran InitializeTree
+		if err := r.verifyMemoryTree(); err != nil {
+			t.Fatalf("%s: freshly initialized tree invalid: %v", scheme, err)
+		}
+	}
+}
+
+// TestFlushIsIdempotent flushes twice; the second flush must be a no-op.
+func TestFlushIsIdempotent(t *testing.T) {
+	for _, scheme := range protectedSchemes {
+		r := newRig(t, defaultRig(scheme))
+		r.randomWorkload(500)
+		r.flush()
+		writes := r.sys.Stat.DataBlockWrites + r.sys.Stat.HashBlockWrites
+		r.flush()
+		if w := r.sys.Stat.DataBlockWrites + r.sys.Stat.HashBlockWrites; w != writes {
+			t.Errorf("%s: second flush wrote %d more blocks", scheme, w-writes)
+		}
+	}
+}
+
+// TestFlushActsAsBarrier mirrors §5.8: after a flush, everything the
+// program wrote is authenticated in memory, so a signature computed over
+// it would be safe to release.
+func TestFlushActsAsBarrier(t *testing.T) {
+	r := newRig(t, defaultRig("c"))
+	payload := bytes.Repeat([]byte{0xC4}, r.sys.BlockSize())
+	r.write(r.dataBlocks()[9], payload)
+	r.flush()
+	got := make([]byte, r.sys.BlockSize())
+	r.sys.Mem.Read(r.dataBlocks()[9], got)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("flush did not push the write to memory")
+	}
+	if err := r.verifyMemoryTree(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package integrity
+
+import (
+	"fmt"
+	"testing"
+
+	"memverify/internal/trace"
+)
+
+// TestRandomGeometriesStayConsistent fuzzes the configuration space:
+// random L2 sizes, block sizes, chunk spans, buffer sizes and hash
+// throughputs, across every protected scheme, each driven by a random
+// workload. Whatever the geometry, an honest run must raise no violation
+// and leave the stored tree covering memory after a flush.
+func TestRandomGeometriesStayConsistent(t *testing.T) {
+	rng := trace.NewRNG(2026)
+	blockSizes := []int{32, 64, 128}
+	l2Sizes := []int{4 << 10, 8 << 10, 32 << 10}
+	spans := []int{1, 2, 4, 8}
+
+	cases := 0
+	for _, scheme := range protectedSchemes {
+		for trial := 0; trial < 6; trial++ {
+			bs := blockSizes[rng.Intn(len(blockSizes))]
+			l2 := l2Sizes[rng.Intn(len(l2Sizes))]
+			span := 1
+			switch scheme {
+			case "m", "i":
+				span = spans[1+rng.Intn(len(spans)-1)]
+			}
+			// Keep arity >= 2: chunk must hold at least two 16 B records.
+			if bs*span < 32 {
+				bs = 64
+			}
+			cfg := rigConfig{
+				scheme:      scheme,
+				protected:   uint64(16<<10 + 16<<10*rng.Intn(3)),
+				l2Size:      l2,
+				blockSize:   bs,
+				chunkBlocks: span,
+			}
+			name := fmt.Sprintf("%s/l2=%d/bs=%d/span=%d/prot=%d", scheme, l2, bs, span, cfg.protected)
+			t.Run(name, func(t *testing.T) {
+				r := newRig(t, cfg)
+				// Randomize the hash unit, too.
+				r.sys.Unit = NewHashUnit(uint64(20+rng.Intn(300)), 0.8+rng.Float64()*8,
+					1+rng.Intn(32), 1+rng.Intn(32))
+				r.randomWorkload(600)
+				if r.sys.Stat.Violations != 0 {
+					t.Fatalf("false positive: %v", r.sys.First)
+				}
+				r.flush()
+				if err := r.verifyMemoryTree(); err != nil {
+					t.Fatalf("tree inconsistent: %v", err)
+				}
+				// And tampering must still be caught.
+				ba := r.dataBlocks()[rng.Intn(len(r.dataBlocks()))]
+				r.evictAll()
+				r.adv.Corrupt(ba+uint64(rng.Intn(bs)), 0x04)
+				r.read(ba)
+				if r.sys.Stat.Violations == 0 {
+					t.Fatal("tampering undetected")
+				}
+			})
+			cases++
+		}
+	}
+	if cases != len(protectedSchemes)*6 {
+		t.Fatalf("ran %d cases", cases)
+	}
+}
+
+// TestStatsAccounting cross-checks the statistic counters against each
+// other on a fixed run: every demand read corresponds to an L2 miss,
+// write-backs to evictions, and hash traffic exists iff the scheme
+// verifies.
+func TestStatsAccounting(t *testing.T) {
+	for _, scheme := range protectedSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			r := newRig(t, defaultRig(scheme))
+			r.randomWorkload(2000)
+			st := &r.sys.Stat
+			l2 := r.sys.L2.Stat
+
+			if st.Checks == 0 {
+				t.Error("no verifications performed")
+			}
+			if st.DemandBlockReads == 0 || st.ExtraBlockReads == 0 {
+				t.Errorf("reads: demand %d extra %d", st.DemandBlockReads, st.ExtraBlockReads)
+			}
+			if st.ExtraWriteBackReads > st.ExtraBlockReads {
+				t.Error("write-back extras exceed total extras")
+			}
+			// Every demand block read must correspond to a data-class L2
+			// miss (read or write-allocate)... except the m/i schemes,
+			// where one chunk fetch can demand multiple blocks.
+			dataMisses := l2.Misses[0] + l2.WriteMiss[0]
+			if scheme == "c" || scheme == "naive" {
+				if st.DemandBlockReads > dataMisses {
+					t.Errorf("demand reads %d > data misses %d", st.DemandBlockReads, dataMisses)
+				}
+			}
+			if st.Evictions == 0 {
+				t.Error("no evictions despite a thrashing workload")
+			}
+			if scheme == "i" && st.MACUpdates == 0 {
+				t.Error("i scheme performed no MAC updates")
+			}
+			if scheme != "i" && st.MACUpdates != 0 {
+				t.Errorf("%s scheme performed MAC updates", scheme)
+			}
+			if r.sys.Unit.Ops() == 0 {
+				t.Error("hash unit idle")
+			}
+		})
+	}
+}
+
+// TestViolationErrorFormatting exercises the error type.
+func TestViolationErrorFormatting(t *testing.T) {
+	v := &ViolationError{Scheme: "c", Chunk: 99, Detail: "boom"}
+	if v.Error() == "" {
+		t.Fatal("empty message")
+	}
+}

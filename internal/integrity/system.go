@@ -1,0 +1,256 @@
+package integrity
+
+import (
+	"fmt"
+
+	"memverify/internal/bus"
+	"memverify/internal/cache"
+	"memverify/internal/dram"
+	"memverify/internal/hashalg"
+	"memverify/internal/htree"
+	"memverify/internal/mem"
+	"memverify/internal/stats"
+)
+
+// Stats counts the integrity machinery's activity. Figure 5 is computed
+// from these plus the bus byte counters.
+type Stats struct {
+	// DemandBlockReads counts blocks loaded from memory because the
+	// processor asked for them (L2 data misses and write allocations).
+	DemandBlockReads uint64
+	// ExtraBlockReads counts blocks loaded from memory purely for
+	// integrity: tree-node chunks, m-scheme chunk completion reads and
+	// i-scheme old-value reads. ExtraWriteBackReads is the subset incurred
+	// while servicing write-backs (hash-slot write-allocation, completion
+	// reads, old-value reads); the paper's Figure 5a counts only the
+	// read-path remainder — its naive bar is exactly the tree depth.
+	ExtraBlockReads     uint64
+	ExtraWriteBackReads uint64
+	// DataBlockWrites and HashBlockWrites count block writes to memory.
+	DataBlockWrites uint64
+	HashBlockWrites uint64
+	// Checks counts verifications performed; Violations counts failures.
+	Checks     uint64
+	Violations uint64
+	// MACUpdates counts constant-work incremental MAC updates (i scheme).
+	MACUpdates uint64
+	// Evictions counts dirty L2 lines processed by the engine.
+	Evictions uint64
+}
+
+// ViolationError describes a detected integrity violation — the security
+// exception of §5.8.
+type ViolationError struct {
+	Scheme string
+	Chunk  uint64
+	Detail string
+}
+
+// Error implements error.
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("integrity(%s): violation at chunk %d: %s", e.Scheme, e.Chunk, e.Detail)
+}
+
+// System bundles the hardware shared by every engine: the L2 cache the
+// machinery integrates with, the untrusted memory and its timing models,
+// the hash unit, the tree layout and the secure root register.
+type System struct {
+	L2        *cache.Cache
+	Mem       mem.Memory
+	DRAM      *dram.DRAM
+	Unit      *HashUnit
+	Layout    *htree.Layout
+	Alg       hashalg.Algorithm
+	L2Latency uint64
+
+	// CheckReads arms read verification. The initialization procedure of
+	// §5.7.2 runs with it off ("turn on the hashing algorithm for writes
+	// but not for reads") and arms it as its final step.
+	CheckReads bool
+
+	// Functional selects whether the engines move and verify real bytes.
+	// Timing never depends on data values, so large parameter sweeps (the
+	// paper protects 4 GB) run with Functional off: no memory contents are
+	// materialized, hashes are not actually computed, and all counters,
+	// bus traffic and stall behaviour remain identical. Correctness and
+	// attack tests run with it on over smaller protected regions.
+	Functional bool
+
+	// Root is the secure on-chip register holding the root hash (or the
+	// root chunk's MAC record in the i scheme).
+	Root []byte
+
+	// OnViolation, if non-nil, observes each violation as it is detected.
+	// Detection is always recorded in Stat regardless.
+	OnViolation func(*ViolationError)
+
+	// Trace, if non-nil, receives engine events (operation name plus
+	// addresses/values) — a debugging aid for the re-entrant write-back
+	// machinery.
+	Trace func(event string, args ...uint64)
+
+	Stat  Stats
+	First *ViolationError
+
+	// PathExtras distributes the number of extra blocks fetched per
+	// demand miss — the direct measurement of the paper's thesis: naive
+	// misses observe the full tree depth, cached misses usually observe
+	// zero or one because a resident ancestor terminates the walk.
+	PathExtras *stats.Histogram
+
+	depth         int
+	wbDepth       int
+	lastCheckDone uint64
+
+	// inflight tracks lines sitting in the write buffer mid-eviction,
+	// keyed by block address. Hardware forwards accesses to write-buffer
+	// entries; without forwarding, a nested write-back re-allocating the
+	// same block would observe the half-committed state (data written,
+	// record not yet — or resurrect a stale copy of the line) and either
+	// raise a false violation or lose an update. Values are the live data
+	// slices of the evicted lines (nil in timing-only mode).
+	inflight map[uint64][]byte
+}
+
+// observePath records the number of integrity block reads one demand
+// miss needed.
+func (s *System) observePath(extras uint64) {
+	if s.PathExtras == nil {
+		s.PathExtras = stats.NewHistogram(1, 2, 3, 5, 9, 13)
+	}
+	s.PathExtras.Observe(extras)
+}
+
+// noteCheck records the completion cycle of a background check or
+// write-back, advancing the §5.8 barrier point.
+func (s *System) noteCheck(done uint64) {
+	if done > s.lastCheckDone {
+		s.lastCheckDone = done
+	}
+}
+
+// ChecksDone returns the cycle by which every verification and record
+// update issued so far has completed — what a cryptographic barrier
+// instruction must wait for (§5.8).
+func (s *System) ChecksDone() uint64 { return s.lastCheckDone }
+
+// registerInflight marks a block as sitting in the write buffer.
+func (s *System) registerInflight(ba uint64, data []byte) {
+	if s.inflight == nil {
+		s.inflight = make(map[uint64][]byte)
+	}
+	s.inflight[ba] = data
+}
+
+// unregisterInflight removes the write-buffer entry.
+func (s *System) unregisterInflight(ba uint64) { delete(s.inflight, ba) }
+
+// inflightData returns the live data of an in-flight line and whether one
+// exists for ba.
+func (s *System) inflightData(ba uint64) ([]byte, bool) {
+	d, ok := s.inflight[ba]
+	return d, ok
+}
+
+// countExtra attributes n integrity block reads to the read or write-back
+// path depending on the current engine context.
+func (s *System) countExtra(n uint64) {
+	s.Stat.ExtraBlockReads += n
+	if s.wbDepth > 0 {
+		s.Stat.ExtraWriteBackReads += n
+	}
+}
+
+// enterWriteBack marks the start of write-back processing for extra-read
+// attribution; leaveWriteBack ends it.
+func (s *System) enterWriteBack() { s.wbDepth++ }
+func (s *System) leaveWriteBack() { s.wbDepth-- }
+
+const maxRecursion = 256
+
+func (s *System) enter() {
+	s.depth++
+	if s.depth > maxRecursion {
+		panic("integrity: verification recursion exceeded bound (engine bug)")
+	}
+}
+
+func (s *System) leave() { s.depth-- }
+
+// BlockSize returns the L2 line size.
+func (s *System) BlockSize() int { return s.L2.Config().BlockSize }
+
+// violation records a detected tamper event.
+func (s *System) violation(chunk uint64, scheme, detail string) {
+	v := &ViolationError{Scheme: scheme, Chunk: chunk, Detail: detail}
+	s.Stat.Violations++
+	if s.First == nil {
+		s.First = v
+	}
+	if s.OnViolation != nil {
+		s.OnViolation(v)
+	}
+}
+
+// Protected reports whether addr falls inside the hash-protected region.
+func (s *System) Protected(addr uint64) bool {
+	return s.Layout != nil && addr < s.Layout.Size()
+}
+
+// classFor maps a chunk to its cache/bus traffic class.
+func (s *System) classFor(c uint64) (cache.Class, bus.Class) {
+	if s.Layout.IsInterior(c) {
+		return cache.Hash, bus.Hash
+	}
+	return cache.Data, bus.Data
+}
+
+// chunkBlocks returns how many L2 blocks one chunk spans.
+func (s *System) chunkBlocks() int { return s.Layout.ChunkSize / s.BlockSize() }
+
+// composeImage assembles chunk c's memory-state image: blocks that are
+// clean in the L2 are taken from the cache (they match memory and cost no
+// bus traffic); every other block — uncached or cached-dirty — is read
+// from external memory, because stored hashes cover memory contents, not
+// dirty cached copies (the invariant of §5.3). It returns the image and
+// the chunk-relative indices of blocks that came from memory.
+func (s *System) composeImage(c uint64) (img []byte, memBlocks []int) {
+	bs := s.BlockSize()
+	k := s.chunkBlocks()
+	base := s.Layout.ChunkAddr(c)
+	if s.Functional {
+		img = make([]byte, s.Layout.ChunkSize)
+	}
+	for i := 0; i < k; i++ {
+		ba := base + uint64(i*bs)
+		if ln := s.L2.Peek(ba); ln != nil && !ln.Dirty {
+			if img != nil {
+				copy(img[i*bs:(i+1)*bs], ln.Data)
+			}
+			continue
+		}
+		if img != nil {
+			s.Mem.Read(ba, img[i*bs:(i+1)*bs])
+		}
+		memBlocks = append(memBlocks, i)
+	}
+	return img, memBlocks
+}
+
+// hashChunk computes the stored-form hash of a chunk image.
+func (s *System) hashChunk(img []byte) []byte {
+	return hashalg.Truncate(s.Alg.Sum(img), s.Layout.HashSize)
+}
+
+// slotBytes extracts chunk c's hash slot from its parent's image.
+func (s *System) slotBytes(parentImg []byte, c uint64) []byte {
+	_, slot, _ := s.Layout.Parent(c)
+	return parentImg[slot*s.Layout.HashSize : (slot+1)*s.Layout.HashSize]
+}
+
+// ResetStats zeroes the integrity counters and forgets recorded
+// violations, for post-warm-up measurement.
+func (s *System) ResetStats() {
+	s.Stat = Stats{}
+	s.First = nil
+}

@@ -1,0 +1,27 @@
+package lamport_test
+
+import (
+	"fmt"
+
+	"memverify/internal/lamport"
+)
+
+// Example runs the §4.1 signing flow: a program-bound one-time key signs
+// a computation's result; the verifier holds only the public key.
+func Example() {
+	key := lamport.GenerateKey([]byte("processor-secret|program-hash"))
+	sig, err := key.Sign([]byte("result=42"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verifies:", key.Public().Verify([]byte("result=42"), sig))
+	fmt.Println("rejects other message:", !key.Public().Verify([]byte("result=43"), sig))
+
+	// One-time semantics: a second signature is refused.
+	_, err = key.Sign([]byte("another"))
+	fmt.Println("second use refused:", err != nil)
+	// Output:
+	// verifies: true
+	// rejects other message: true
+	// second use refused: true
+}

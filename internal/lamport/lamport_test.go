@@ -1,0 +1,106 @@
+package lamport
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignVerify(t *testing.T) {
+	k := GenerateKey([]byte("processor-secret|program-hash"))
+	msg := []byte("the computed result is 42")
+	sig, err := k.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Public().Verify(msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestWrongMessageRejected(t *testing.T) {
+	k := GenerateKey([]byte("seed"))
+	sig, _ := k.Sign([]byte("result A"))
+	if k.Public().Verify([]byte("result B"), sig) {
+		t.Fatal("signature verified a different message")
+	}
+}
+
+func TestTamperedSignatureRejected(t *testing.T) {
+	k := GenerateKey([]byte("seed"))
+	msg := []byte("message")
+	sig, _ := k.Sign(msg)
+	sig.sig[7][3] ^= 1
+	if k.Public().Verify(msg, sig) {
+		t.Fatal("tampered signature accepted")
+	}
+	if k.Public().Verify(msg, nil) {
+		t.Fatal("nil signature accepted")
+	}
+}
+
+func TestOneTimeUse(t *testing.T) {
+	k := GenerateKey([]byte("seed"))
+	if _, err := k.Sign([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Sign([]byte("second")); err == nil {
+		t.Fatal("second signature with a one-time key succeeded")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	k1 := GenerateKey([]byte("program-1"))
+	k2 := GenerateKey([]byte("program-2"))
+	msg := []byte("result")
+	sig, _ := k1.Sign(msg)
+	if k2.Public().Verify(msg, sig) {
+		t.Fatal("signature verified under a different program's key")
+	}
+}
+
+func TestDeterministicKeyGen(t *testing.T) {
+	a := GenerateKey([]byte("seed")).Public().Marshal()
+	b := GenerateKey([]byte("seed")).Public().Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different keys")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	k := GenerateKey([]byte("seed"))
+	msg := []byte("round trip")
+	sig, _ := k.Sign(msg)
+
+	pk2, err := UnmarshalPublicKey(k.Public().Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := UnmarshalSignature(sig.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk2.Verify(msg, sig2) {
+		t.Fatal("marshalled key/signature pair rejected")
+	}
+	if _, err := UnmarshalPublicKey([]byte{1}); err == nil {
+		t.Error("short public key accepted")
+	}
+	if _, err := UnmarshalSignature([]byte{1}); err == nil {
+		t.Error("short signature accepted")
+	}
+}
+
+func TestVerifyPropertyRandomMessages(t *testing.T) {
+	check := func(seed, msg []byte) bool {
+		k := GenerateKey(seed)
+		sig, err := k.Sign(msg)
+		if err != nil {
+			return false
+		}
+		return k.Public().Verify(msg, sig)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package mem
+
+// Adversary wraps a Memory and models a physical attacker sitting on the
+// memory bus (§3). The attacker can observe everything and substitute
+// arbitrary values; the four mutators below cover the attack classes the
+// paper analyzes:
+//
+//   - Corrupt: flip stored bits directly (simple tampering).
+//   - Snapshot/Replay: return stale data previously stored at the same
+//     address during the same execution (the XOM replay attack of §4.4).
+//   - Splice: answer reads of one address with data stored at another
+//     (address permutation attacks).
+//   - DropWrites: silently discard the processor's writes to a region
+//     ("only the first write to an address is ever actually performed").
+//
+// All mutations affect what readers observe; the integrity machinery is
+// expected to detect every one of them on protected regions.
+type Adversary struct {
+	inner Memory
+
+	replays []replayRegion
+	splices []spliceRegion
+	drops   []region
+
+	// Reads and Writes count the traffic the adversary has observed, a
+	// convenience for tests asserting that attacks happened where expected.
+	Reads, Writes uint64
+}
+
+type region struct{ addr, size uint64 }
+
+func (r region) contains(a uint64) bool { return a >= r.addr && a < r.addr+r.size }
+
+type replayRegion struct {
+	region
+	data   []byte
+	active bool
+}
+
+type spliceRegion struct {
+	region
+	src uint64
+}
+
+// NewAdversary wraps inner. With no mutations configured it is a
+// transparent pass-through.
+func NewAdversary(inner Memory) *Adversary {
+	return &Adversary{inner: inner}
+}
+
+// Corrupt XORs the byte at addr with mask, directly in the underlying
+// storage (bypassing any integrity machinery above).
+func (a *Adversary) Corrupt(addr uint64, mask byte) {
+	var b [1]byte
+	a.inner.Read(addr, b[:])
+	b[0] ^= mask
+	a.inner.Write(addr, b[:])
+}
+
+// Snapshot records size bytes at addr and returns a replay handle. The
+// snapshot is inert until Replay is called on the handle.
+func (a *Adversary) Snapshot(addr, size uint64) int {
+	data := make([]byte, size)
+	a.inner.Read(addr, data)
+	a.replays = append(a.replays, replayRegion{region: region{addr, size}, data: data})
+	return len(a.replays) - 1
+}
+
+// Replay activates a snapshot: subsequent reads inside its region return
+// the stale recorded bytes instead of current memory.
+func (a *Adversary) Replay(handle int) { a.replays[handle].active = true }
+
+// StopReplay deactivates a snapshot.
+func (a *Adversary) StopReplay(handle int) { a.replays[handle].active = false }
+
+// Splice makes reads of [dst, dst+size) return the bytes currently stored
+// at the corresponding offset from src.
+func (a *Adversary) Splice(dst, src, size uint64) {
+	a.splices = append(a.splices, spliceRegion{region: region{dst, size}, src: src})
+}
+
+// DropWrites makes the memory silently discard writes to [addr, addr+size).
+func (a *Adversary) DropWrites(addr, size uint64) {
+	a.drops = append(a.drops, region{addr, size})
+}
+
+// Read implements Memory, applying active replays and splices byte-wise so
+// that attacks spanning partial blocks behave like real bus substitution.
+func (a *Adversary) Read(addr uint64, p []byte) {
+	a.Reads += uint64(len(p))
+	a.inner.Read(addr, p)
+	if len(a.replays) == 0 && len(a.splices) == 0 {
+		return
+	}
+	for i := range p {
+		ai := addr + uint64(i)
+		for _, sp := range a.splices {
+			if sp.contains(ai) {
+				var b [1]byte
+				a.inner.Read(sp.src+(ai-sp.addr), b[:])
+				p[i] = b[0]
+			}
+		}
+		for _, rp := range a.replays {
+			if rp.active && rp.contains(ai) {
+				p[i] = rp.data[ai-rp.addr]
+			}
+		}
+	}
+}
+
+// Write implements Memory, discarding bytes that land in drop regions.
+func (a *Adversary) Write(addr uint64, p []byte) {
+	a.Writes += uint64(len(p))
+	if len(a.drops) == 0 {
+		a.inner.Write(addr, p)
+		return
+	}
+	for i := range p {
+		ai := addr + uint64(i)
+		dropped := false
+		for _, d := range a.drops {
+			if d.contains(ai) {
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			a.inner.Write(ai, p[i:i+1])
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSparseOps drives the sparse memory with an op stream decoded from
+// fuzz input and cross-checks it against a flat reference array.
+func FuzzSparseOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0xFF, 0x00, 0x80, 0x7F})
+
+	const space = 1 << 16
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		s := NewSparse()
+		ref := make([]byte, space)
+		for i := 0; i+4 <= len(ops); i += 4 {
+			addr := uint64(ops[i])<<8 | uint64(ops[i+1])
+			n := int(ops[i+2])%64 + 1
+			if int(addr)+n > space {
+				n = space - int(addr)
+			}
+			if ops[i+3]&1 == 0 {
+				payload := bytes.Repeat([]byte{ops[i+3]}, n)
+				s.Write(addr, payload)
+				copy(ref[addr:], payload)
+			} else {
+				got := make([]byte, n)
+				s.Read(addr, got)
+				if !bytes.Equal(got, ref[addr:int(addr)+n]) {
+					t.Fatalf("read at %#x diverged from reference", addr)
+				}
+			}
+		}
+	})
+}
+
+// FuzzAdversaryNeverPanics exercises the attack mutators with arbitrary
+// geometry.
+func FuzzAdversaryNeverPanics(f *testing.F) {
+	f.Add(uint16(0), uint16(64), uint16(32), byte(1))
+	f.Fuzz(func(t *testing.T, a, b, c uint16, mode byte) {
+		adv := NewAdversary(NewSparse())
+		adv.Write(uint64(a), []byte{1, 2, 3})
+		size := uint64(b)%1024 + 1
+		switch mode % 4 {
+		case 0:
+			h := adv.Snapshot(uint64(a), size)
+			adv.Replay(h)
+			adv.StopReplay(h)
+		case 1:
+			adv.Splice(uint64(a), uint64(c), size)
+		case 2:
+			adv.DropWrites(uint64(a), size)
+		case 3:
+			adv.Corrupt(uint64(a), mode)
+		}
+		buf := make([]byte, size)
+		adv.Read(uint64(a), buf)
+		adv.Write(uint64(c), buf)
+	})
+}

@@ -1,0 +1,76 @@
+// Package mem provides the untrusted external memory of the paper's model:
+// a sparse byte-addressable physical memory plus an adversary layer that
+// can tamper with it (corruption, replay, splicing, dropped writes) the way
+// a physical attacker on the memory bus would.
+package mem
+
+// Memory is byte-addressable storage. Read and Write transfer len(p) bytes
+// at addr. Implementations are not required to be concurrency safe; the
+// simulator is single-threaded per run.
+type Memory interface {
+	Read(addr uint64, p []byte)
+	Write(addr uint64, p []byte)
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Sparse is a paged sparse memory. Unwritten bytes read as zero, so an
+// arbitrarily large protected region costs only the pages actually touched.
+// The zero value is not ready to use; call NewSparse.
+type Sparse struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewSparse returns an empty sparse memory.
+func NewSparse() *Sparse {
+	return &Sparse{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+// Read implements Memory.
+func (s *Sparse) Read(addr uint64, p []byte) {
+	for len(p) > 0 {
+		pageNum := addr >> pageShift
+		off := addr & pageMask
+		n := pageSize - off
+		if uint64(len(p)) < n {
+			n = uint64(len(p))
+		}
+		if pg, ok := s.pages[pageNum]; ok {
+			copy(p[:n], pg[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		addr += n
+	}
+}
+
+// Write implements Memory.
+func (s *Sparse) Write(addr uint64, p []byte) {
+	for len(p) > 0 {
+		pageNum := addr >> pageShift
+		off := addr & pageMask
+		n := pageSize - off
+		if uint64(len(p)) < n {
+			n = uint64(len(p))
+		}
+		pg, ok := s.pages[pageNum]
+		if !ok {
+			pg = new([pageSize]byte)
+			s.pages[pageNum] = pg
+		}
+		copy(pg[off:off+n], p[:n])
+		p = p[n:]
+		addr += n
+	}
+}
+
+// PageCount returns the number of pages materialized so far. Useful for
+// asserting that sparse simulation stays sparse.
+func (s *Sparse) PageCount() int { return len(s.pages) }

@@ -1,0 +1,173 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseZeroFill(t *testing.T) {
+	m := NewSparse()
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	m.Read(12345, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("unwritten byte %d reads %#x, want 0", i, b)
+		}
+	}
+	if m.PageCount() != 0 {
+		t.Errorf("reading materialized %d pages", m.PageCount())
+	}
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	m := NewSparse()
+	check := func(addr uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		m.Write(uint64(addr), data)
+		got := make([]byte, len(data))
+		m.Read(uint64(addr), got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseCrossPage(t *testing.T) {
+	m := NewSparse()
+	data := make([]byte, 3*4096)
+	for i := range data {
+		data[i] = byte(i * 11)
+	}
+	const addr = 4096 - 100 // straddles three pages
+	m.Write(addr, data)
+	got := make([]byte, len(data))
+	m.Read(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page write/read mismatch")
+	}
+	if m.PageCount() != 4 {
+		t.Errorf("PageCount = %d, want 4", m.PageCount())
+	}
+}
+
+func TestSparseOverwrite(t *testing.T) {
+	m := NewSparse()
+	m.Write(100, []byte{1, 2, 3, 4})
+	m.Write(102, []byte{9})
+	got := make([]byte, 4)
+	m.Read(100, got)
+	if !bytes.Equal(got, []byte{1, 2, 9, 4}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSparseSparsity(t *testing.T) {
+	m := NewSparse()
+	// Touch bytes 1 GiB apart; only two pages should materialize.
+	m.Write(0, []byte{1})
+	m.Write(1<<30, []byte{2})
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+func TestAdversaryPassThrough(t *testing.T) {
+	inner := NewSparse()
+	a := NewAdversary(inner)
+	a.Write(50, []byte{1, 2, 3})
+	got := make([]byte, 3)
+	a.Read(50, got)
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("pass-through mismatch: %v", got)
+	}
+	if a.Reads != 3 || a.Writes != 3 {
+		t.Errorf("traffic counters: reads %d writes %d", a.Reads, a.Writes)
+	}
+}
+
+func TestAdversaryCorrupt(t *testing.T) {
+	inner := NewSparse()
+	a := NewAdversary(inner)
+	a.Write(10, []byte{0x0F})
+	a.Corrupt(10, 0xF0)
+	got := make([]byte, 1)
+	a.Read(10, got)
+	if got[0] != 0xFF {
+		t.Fatalf("corrupted byte = %#x, want 0xFF", got[0])
+	}
+}
+
+func TestAdversaryReplay(t *testing.T) {
+	inner := NewSparse()
+	a := NewAdversary(inner)
+	a.Write(100, []byte("old value"))
+	h := a.Snapshot(100, 9)
+	a.Write(100, []byte("new value"))
+
+	got := make([]byte, 9)
+	a.Read(100, got)
+	if string(got) != "new value" {
+		t.Fatalf("inactive snapshot altered reads: %q", got)
+	}
+	a.Replay(h)
+	a.Read(100, got)
+	if string(got) != "old value" {
+		t.Fatalf("replay did not serve stale data: %q", got)
+	}
+	a.StopReplay(h)
+	a.Read(100, got)
+	if string(got) != "new value" {
+		t.Fatalf("stopping replay did not restore: %q", got)
+	}
+}
+
+func TestAdversaryReplayPartialOverlap(t *testing.T) {
+	inner := NewSparse()
+	a := NewAdversary(inner)
+	a.Write(0, []byte{1, 2, 3, 4})
+	h := a.Snapshot(1, 2) // bytes 1..2
+	a.Write(0, []byte{5, 6, 7, 8})
+	a.Replay(h)
+	got := make([]byte, 4)
+	a.Read(0, got)
+	if !bytes.Equal(got, []byte{5, 2, 3, 8}) {
+		t.Fatalf("partial replay = %v, want [5 2 3 8]", got)
+	}
+}
+
+func TestAdversarySplice(t *testing.T) {
+	inner := NewSparse()
+	a := NewAdversary(inner)
+	a.Write(0, []byte("AAAA"))
+	a.Write(64, []byte("BBBB"))
+	a.Splice(0, 64, 4)
+	got := make([]byte, 4)
+	a.Read(0, got)
+	if string(got) != "BBBB" {
+		t.Fatalf("splice read = %q, want BBBB", got)
+	}
+	a.Read(64, got)
+	if string(got) != "BBBB" {
+		t.Fatalf("source region altered: %q", got)
+	}
+}
+
+func TestAdversaryDropWrites(t *testing.T) {
+	inner := NewSparse()
+	a := NewAdversary(inner)
+	a.Write(8, []byte{1, 2, 3, 4})
+	a.DropWrites(9, 2)
+	a.Write(8, []byte{9, 9, 9, 9})
+	got := make([]byte, 4)
+	a.Read(8, got)
+	if !bytes.Equal(got, []byte{9, 2, 3, 9}) {
+		t.Fatalf("drop-writes = %v, want [9 2 3 9]", got)
+	}
+}

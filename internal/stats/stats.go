@@ -1,0 +1,179 @@
+// Package stats provides lightweight counters, rate helpers and fixed-width
+// table formatting shared by the simulator and the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns a/b as a float, or 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Percent returns 100*a/b, or 0 when b is zero.
+func Percent(a, b uint64) float64 { return 100 * Ratio(a, b) }
+
+// Histogram is a simple bucketed histogram over non-negative integer samples.
+type Histogram struct {
+	buckets []uint64 // bucket i counts samples in [bounds[i-1], bounds[i])
+	bounds  []uint64 // ascending upper bounds; last bucket is overflow
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds. Samples greater than or equal to the last bound land in an
+// overflow bucket.
+func NewHistogram(bounds ...uint64) *Histogram {
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{
+		buckets: make([]uint64, len(b)+1),
+		bounds:  b,
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v < h.bounds[i] })
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of all samples, or 0 with no samples.
+func (h *Histogram) Mean() float64 { return Ratio(h.sum, h.count) }
+
+// Max returns the largest sample observed.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Bucket returns the count of samples in bucket i (len(bounds)+1 buckets).
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Table accumulates rows of labeled numeric cells and renders them as an
+// aligned plain-text table, the way the figure harness prints paper figures.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	decimal int
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header, decimal: 3}
+}
+
+// SetPrecision sets the number of fractional digits used by AddRow for
+// float64 cells. The default is 3.
+func (t *Table) SetPrecision(d int) { t.decimal = d }
+
+// AddRow appends a row. Cells may be string, float64, int, uint64 or
+// anything else fmt can print with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			if math.IsNaN(v) {
+				row[i] = "-"
+			} else {
+				row[i] = fmt.Sprintf("%.*f", t.decimal, v)
+			}
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of vs, ignoring non-positive values.
+// It returns 0 if no positive values are present.
+func GeoMean(vs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestRatioPercent(t *testing.T) {
+	if Ratio(1, 4) != 0.25 {
+		t.Error("Ratio(1,4)")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio by zero should be 0")
+	}
+	if Percent(1, 4) != 25 {
+		t.Error("Percent(1,4)")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100)
+	for _, v := range []uint64{1, 5, 9, 10, 50, 99, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Bucket(0) != 3 { // <10
+		t.Errorf("bucket 0 = %d, want 3", h.Bucket(0))
+	}
+	if h.Bucket(1) != 3 { // 10..99
+		t.Errorf("bucket 1 = %d, want 3", h.Bucket(1))
+	}
+	if h.Bucket(2) != 2 { // >=100
+		t.Errorf("bucket 2 = %d, want 2", h.Bucket(2))
+	}
+	if h.Max() != 1000 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	want := float64(1+5+9+10+50+99+100+1000) / 8
+	if h.Mean() != want {
+		t.Errorf("Mean = %f, want %f", h.Mean(), want)
+	}
+}
+
+func TestHistogramUnsortedBounds(t *testing.T) {
+	h := NewHistogram(100, 10) // bounds given out of order
+	h.Observe(5)
+	if h.Bucket(0) != 1 {
+		t.Error("bounds were not sorted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.AddRow("alpha", 1.23456)
+	tb.AddRow("b", 42)
+	tb.AddRow("nan", math.NaN())
+	out := tb.String()
+	for _, want := range []string{"My Title", "name", "alpha", "1.235", "42", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("NaN should render as -")
+	}
+}
+
+func TestTablePrecision(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.SetPrecision(1)
+	tb.AddRow(2.718)
+	if !strings.Contains(tb.String(), "2.7") || strings.Contains(tb.String(), "2.718") {
+		t.Errorf("precision not applied:\n%s", tb.String())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %f, want 4", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Errorf("GeoMean of non-positives = %f, want 0", g)
+	}
+	if g := GeoMean([]float64{5, -1}); math.Abs(g-5) > 1e-9 {
+		t.Errorf("GeoMean ignores non-positives: %f", g)
+	}
+}

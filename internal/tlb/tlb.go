@@ -1,0 +1,106 @@
+// Package tlb models the instruction and data translation lookaside
+// buffers of Table 1 (4-way, 128 entries). The simulator verifies
+// physical memory with an identity mapping (§5.6's simplified
+// organization), so the TLB contributes timing only: a miss charges the
+// page-walk penalty and installs the translation.
+package tlb
+
+// Config describes a TLB's geometry and miss cost.
+type Config struct {
+	Entries     int    // total translations held
+	Ways        int    // associativity
+	PageSize    uint64 // bytes per page; power of two
+	MissPenalty uint64 // cycles for the hardware walk on a miss
+}
+
+// DefaultConfig returns Table 1's 4-way, 128-entry TLB over 8 KB pages
+// (SimpleScalar's default page size) with a 30-cycle walk.
+func DefaultConfig() Config {
+	return Config{Entries: 128, Ways: 4, PageSize: 8 << 10, MissPenalty: 30}
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type entry struct {
+	page  uint64
+	valid bool
+	lru   uint64
+}
+
+// TLB is a set-associative translation buffer with true LRU.
+type TLB struct {
+	cfg       Config
+	sets      [][]entry
+	nsets     uint64
+	pageShift uint
+	clock     uint64
+	Stat      Stats
+}
+
+// New builds a TLB. It panics on inconsistent geometry (a configuration
+// programming error).
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic("tlb: entries must be a positive multiple of ways")
+	}
+	if cfg.PageSize == 0 || cfg.PageSize&(cfg.PageSize-1) != 0 {
+		panic("tlb: page size must be a positive power of two")
+	}
+	nsets := cfg.Entries / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic("tlb: set count must be a power of two")
+	}
+	t := &TLB{cfg: cfg, nsets: uint64(nsets)}
+	t.sets = make([][]entry, nsets)
+	for i := range t.sets {
+		t.sets[i] = make([]entry, cfg.Ways)
+	}
+	for ps := cfg.PageSize; ps > 1; ps >>= 1 {
+		t.pageShift++
+	}
+	return t
+}
+
+// Config returns the TLB's geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Lookup translates the page containing addr at cycle now and returns the
+// cycle the translation is available: now on a hit, now+MissPenalty on a
+// miss (the walk installs the translation).
+func (t *TLB) Lookup(now uint64, addr uint64) uint64 {
+	t.Stat.Accesses++
+	page := addr >> t.pageShift
+	set := t.sets[page&(t.nsets-1)]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			t.clock++
+			set[i].lru = t.clock
+			return now
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	t.Stat.Misses++
+	t.clock++
+	set[victim] = entry{page: page, valid: true, lru: t.clock}
+	return now + t.cfg.MissPenalty
+}
+
+// ResetStats zeroes the counters (contents are untouched).
+func (t *TLB) ResetStats() { t.Stat = Stats{} }

@@ -1,0 +1,86 @@
+package tlb
+
+import "testing"
+
+func TestHitAndMiss(t *testing.T) {
+	tl := New(Config{Entries: 8, Ways: 2, PageSize: 4096, MissPenalty: 30})
+	if done := tl.Lookup(100, 0x1234); done != 130 {
+		t.Errorf("cold lookup done at %d, want 130", done)
+	}
+	if done := tl.Lookup(200, 0x1FFF); done != 200 {
+		t.Errorf("same-page lookup done at %d, want 200 (hit)", done)
+	}
+	if done := tl.Lookup(300, 0x2000); done != 330 {
+		t.Errorf("next-page lookup done at %d, want 330 (miss)", done)
+	}
+	if tl.Stat.Accesses != 3 || tl.Stat.Misses != 2 {
+		t.Errorf("stats %+v", tl.Stat)
+	}
+	if got := tl.Stat.MissRate(); got != 2.0/3.0 {
+		t.Errorf("miss rate %f", got)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// One set, two ways, 4K pages: pages 0, nsets, 2*nsets... collide.
+	tl := New(Config{Entries: 2, Ways: 2, PageSize: 4096, MissPenalty: 10})
+	tl.Lookup(0, 0*4096) // page 0
+	tl.Lookup(0, 1*4096) // page 1
+	tl.Lookup(0, 0*4096) // touch page 0; page 1 becomes LRU
+	tl.Lookup(0, 2*4096) // evicts page 1
+	if done := tl.Lookup(0, 0*4096); done != 0 {
+		t.Error("page 0 should still hit")
+	}
+	if done := tl.Lookup(0, 1*4096); done == 0 {
+		t.Error("page 1 should have been evicted")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	cfg := Config{Entries: 128, Ways: 4, PageSize: 8192, MissPenalty: 30}
+	tl := New(cfg)
+	// Touch exactly Entries distinct pages, then re-touch: all hits.
+	for i := 0; i < cfg.Entries; i++ {
+		tl.Lookup(0, uint64(i)*cfg.PageSize)
+	}
+	tl.ResetStats()
+	for i := 0; i < cfg.Entries; i++ {
+		tl.Lookup(0, uint64(i)*cfg.PageSize)
+	}
+	if tl.Stat.Misses != 0 {
+		t.Errorf("%d misses re-touching a resident set", tl.Stat.Misses)
+	}
+}
+
+func TestMissRateEmpty(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty miss rate should be 0")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	bad := []Config{
+		{Entries: 0, Ways: 1, PageSize: 4096},
+		{Entries: 7, Ways: 2, PageSize: 4096},
+		{Entries: 8, Ways: 2, PageSize: 1000},
+		{Entries: 24, Ways: 4, PageSize: 4096}, // 6 sets: not a power of two
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Entries != 128 || cfg.Ways != 4 {
+		t.Errorf("Table 1 specifies 4-way 128-entry TLBs, got %+v", cfg)
+	}
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkSyntheticNext(b *testing.B) {
+	g := NewSynthetic(GCC, 1)
+	var ins Instruction
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next(&ins)
+	}
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	g := NewSynthetic(MCF, 1)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var ins Instruction
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next(&ins)
+		if err := w.Write(&ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceDecode(b *testing.B) {
+	g := NewSynthetic(MCF, 1)
+	var buf bytes.Buffer
+	if err := Record(&buf, g, 100_000); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)) / 100_000)
+	r := NewReader(bytes.NewReader(data))
+	var ins Instruction
+	for i := 0; i < b.N; i++ {
+		if err := r.Read(&ins); err != nil {
+			r = NewReader(bytes.NewReader(data)) // wrap
+		}
+	}
+}

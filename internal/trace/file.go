@@ -1,0 +1,197 @@
+package trace
+
+// Trace files let workloads be recorded once and replayed byte-for-byte —
+// the same methodology as distributing SimpleScalar EIO traces. The format
+// is a compact varint encoding:
+//
+//	magic "MVTR1\n"
+//	per instruction:
+//	    1 byte   op (low 3 bits) | mispredict flag (bit 3)
+//	    uvarint  pc
+//	    uvarint  addr  (loads/stores only)
+//	    uvarint  dep1, dep2
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const fileMagic = "MVTR1\n"
+
+// Writer streams instructions to a trace file.
+type Writer struct {
+	w     *bufio.Writer
+	wrote bool
+	n     uint64
+}
+
+// NewWriter wraps w; the magic header is emitted with the first record.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one instruction.
+func (t *Writer) Write(ins *Instruction) error {
+	if !t.wrote {
+		if _, err := t.w.WriteString(fileMagic); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	head := byte(ins.Op) & 0x07
+	if ins.Mispredict {
+		head |= 0x08
+	}
+	if err := t.w.WriteByte(head); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := t.w.Write(buf[:n])
+		return err
+	}
+	if err := put(ins.PC); err != nil {
+		return err
+	}
+	if ins.Op == OpLoad || ins.Op == OpStore {
+		if err := put(ins.Addr); err != nil {
+			return err
+		}
+	}
+	if err := put(uint64(ins.Dep1)); err != nil {
+		return err
+	}
+	if err := put(uint64(ins.Dep2)); err != nil {
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of instructions written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush drains buffered records to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Record captures n instructions from gen into w.
+func Record(w io.Writer, gen Generator, n uint64) error {
+	tw := NewWriter(w)
+	var ins Instruction
+	for i := uint64(0); i < n; i++ {
+		gen.Next(&ins)
+		if err := tw.Write(&ins); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Reader streams instructions from a trace file.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read fills ins with the next record. It returns io.EOF cleanly at the
+// end of the trace.
+func (t *Reader) Read(ins *Instruction) error {
+	if !t.header {
+		magic := make([]byte, len(fileMagic))
+		if _, err := io.ReadFull(t.r, magic); err != nil {
+			return fmt.Errorf("trace: reading magic: %w", err)
+		}
+		if string(magic) != fileMagic {
+			return fmt.Errorf("trace: bad magic %q", magic)
+		}
+		t.header = true
+	}
+	head, err := t.r.ReadByte()
+	if err != nil {
+		return err // io.EOF here is the clean end of trace
+	}
+	*ins = Instruction{Op: Op(head & 0x07), Mispredict: head&0x08 != 0}
+	if ins.Op >= numOps {
+		return fmt.Errorf("trace: invalid opcode %d", ins.Op)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(t.r) }
+	if ins.PC, err = get(); err != nil {
+		return corrupt(err)
+	}
+	if ins.Op == OpLoad || ins.Op == OpStore {
+		if ins.Addr, err = get(); err != nil {
+			return corrupt(err)
+		}
+	}
+	d1, err := get()
+	if err != nil {
+		return corrupt(err)
+	}
+	d2, err := get()
+	if err != nil {
+		return corrupt(err)
+	}
+	ins.Dep1, ins.Dep2 = uint32(d1), uint32(d2)
+	return nil
+}
+
+// corrupt maps an EOF in the middle of a record to a hard error.
+func corrupt(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("trace: truncated record: %w", io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+// ReadAll decodes an entire trace.
+func ReadAll(r io.Reader) ([]Instruction, error) {
+	tr := NewReader(r)
+	var out []Instruction
+	for {
+		var ins Instruction
+		err := tr.Read(&ins)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ins)
+	}
+}
+
+// Replay is a Generator over a recorded instruction slice, wrapping
+// around at the end so any simulation length can be driven.
+type Replay struct {
+	name string
+	ins  []Instruction
+	i    int
+}
+
+// NewReplay builds a generator replaying ins in order.
+func NewReplay(name string, ins []Instruction) *Replay {
+	if len(ins) == 0 {
+		panic("trace: cannot replay an empty trace")
+	}
+	return &Replay{name: name, ins: ins}
+}
+
+// Name implements Generator.
+func (r *Replay) Name() string { return r.name }
+
+// Next implements Generator.
+func (r *Replay) Next(ins *Instruction) {
+	*ins = r.ins[r.i]
+	r.i++
+	if r.i == len(r.ins) {
+		r.i = 0
+	}
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	gen := NewSynthetic(MCF, 11)
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 5000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5000 {
+		t.Fatalf("decoded %d instructions, want 5000", len(got))
+	}
+	// The decoded trace must equal a fresh generation with the same seed.
+	ref := NewSynthetic(MCF, 11)
+	var ins Instruction
+	for i, g := range got {
+		ref.Next(&ins)
+		if g != ins {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, g, ins)
+		}
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	check := func(records []struct {
+		Op         uint8
+		PC, Addr   uint32
+		Dep1, Dep2 uint16
+		Mis        bool
+	}) bool {
+		if len(records) == 0 {
+			return true
+		}
+		var ins []Instruction
+		for _, r := range records {
+			ins = append(ins, Instruction{
+				Op:         Op(r.Op % uint8(numOps)),
+				PC:         uint64(r.PC),
+				Addr:       uint64(r.Addr),
+				Dep1:       uint32(r.Dep1),
+				Dep2:       uint32(r.Dep2),
+				Mispredict: r.Mis,
+			})
+		}
+		// Non-memory ops do not carry addresses.
+		for i := range ins {
+			if ins[i].Op != OpLoad && ins[i].Op != OpStore {
+				ins[i].Addr = 0
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := range ins {
+			if err := w.Write(&ins[i]); err != nil {
+				return false
+			}
+		}
+		if w.Count() != uint64(len(ins)) {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(ins) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ins[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOTATRACE")))
+	var ins Instruction
+	if err := r.Read(&ins); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderRejectsTruncation(t *testing.T) {
+	gen := NewSynthetic(GCC, 1)
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 10); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2] // chop mid-record
+	_, err := ReadAll(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReaderRejectsBadOpcode(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("MVTR1\n")
+	buf.WriteByte(0x07) // opcode 7 is out of range
+	buf.WriteByte(0x00) // pc
+	buf.WriteByte(0x00) // dep1
+	buf.WriteByte(0x00) // dep2
+	_, err := ReadAll(&buf)
+	if err == nil {
+		t.Fatal("invalid opcode accepted")
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	ins := []Instruction{{Op: OpInt, PC: 4}, {Op: OpLoad, Addr: 8}}
+	r := NewReplay("loop", ins)
+	if r.Name() != "loop" {
+		t.Error("name")
+	}
+	var got Instruction
+	for i := 0; i < 5; i++ {
+		r.Next(&got)
+		if got != ins[i%2] {
+			t.Fatalf("iteration %d: %+v", i, got)
+		}
+	}
+}
+
+func TestReplayEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty replay did not panic")
+		}
+	}()
+	NewReplay("x", nil)
+}
+
+func TestReadAllEmptyStream(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream should fail (no magic)")
+	}
+}
+
+func TestRecordedTraceDrivesSimulationIdentically(t *testing.T) {
+	// A replayed trace must produce the identical instruction stream as
+	// the live generator — verified instruction-by-instruction above, and
+	// here through the wrap-around path.
+	gen := NewSynthetic(Gzip, 3)
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 100); err != nil {
+		t.Fatal(err)
+	}
+	recorded, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewReplay("gzip-trace", recorded)
+	var a Instruction
+	for i := 0; i < 250; i++ {
+		rp.Next(&a)
+		if a != recorded[i%100] {
+			t.Fatalf("wrap-around replay diverged at %d", i)
+		}
+	}
+	var _ io.Reader = &buf
+}

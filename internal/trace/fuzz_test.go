@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must reject or
+// decode them without panicking, and everything it decodes must re-encode
+// to a stream that decodes identically.
+func FuzzReader(f *testing.F) {
+	// Seed with a real trace and a few corruptions of it.
+	var buf bytes.Buffer
+	if err := Record(&buf, NewSynthetic(GCC, 1), 50); err != nil {
+		f.Fatal(err)
+	}
+	seed := buf.Bytes()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte("MVTR1\n"))
+	f.Add([]byte("garbage"))
+	bad := append([]byte(nil), seed...)
+	bad[10] ^= 0xFF
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var decoded []Instruction
+		for {
+			var ins Instruction
+			err := r.Read(&ins)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // rejection is fine; panics are not
+			}
+			decoded = append(decoded, ins)
+			if len(decoded) > 10000 {
+				break
+			}
+		}
+		if len(decoded) == 0 {
+			return
+		}
+		// Round-trip what we decoded.
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		for i := range decoded {
+			if err := w.Write(&decoded[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded trace failed: %v", err)
+		}
+		if len(again) != len(decoded) {
+			t.Fatalf("round trip length %d != %d", len(again), len(decoded))
+		}
+		for i := range again {
+			if again[i] != decoded[i] {
+				t.Fatalf("round trip instruction %d differs", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package trace
+
+// Profile parameterizes a synthetic workload. All fractions are in [0,1].
+type Profile struct {
+	Name string
+
+	// Instruction mix. Load+Store+FP+Mul+Branch must be ≤ 1; the
+	// remainder is 1-cycle integer work.
+	Load, Store, FP, Mul, Branch float64
+
+	// WorkingSet is the total data footprint. HotSet is a small
+	// high-locality region (locals, top of stack, hot globals) receiving
+	// HotFrac of all accesses.
+	WorkingSet uint64
+	HotSet     uint64
+	HotFrac    float64
+
+	// Of the remaining "cold" accesses, SeqFrac stream through the
+	// working set with SeqStride bytes between touches, distributed over
+	// Streams concurrent cursors (vector codes sweep several arrays).
+	SeqFrac   float64
+	SeqStride uint64
+	Streams   int
+
+	// ChaseFrac of cold accesses are pointer chases: the address depends
+	// on the previous load's value, serializing misses (mcf's lists).
+	// Chases wander inside a ChaseRegion-byte window (default: the whole
+	// working set) that relocates every ~131072 chases — real pointer codes
+	// chase within an active sub-structure, not uniformly over 190 MB.
+	ChaseFrac   float64
+	ChaseRegion uint64
+
+	// ScatterFrac of cold accesses are isolated random touches across the
+	// whole working set — hash-table probes, sparse index lookups. They
+	// miss without bringing useful neighbours, which is what makes
+	// multi-block chunks (the m scheme) pay for sibling fetches.
+	ScatterFrac float64
+
+	// Remaining cold accesses walk random regions: the generator picks a
+	// random ColdRegion-byte window in the working set and issues ColdRun
+	// accesses inside it before jumping — real programs touch records,
+	// not uniformly random words, and this spatial locality is what lets
+	// cached tree nodes be reused. Defaults: 2 KiB windows, 12 accesses.
+	ColdRegion uint64
+	ColdRun    int
+
+	// DepNear is the probability an instruction depends on a result 1–4
+	// instructions back; DepFar adds a second dependency 5–32 back.
+	DepNear, DepFar float64
+
+	// Mispredict is the branch misprediction rate.
+	Mispredict float64
+
+	// CodeSet is the instruction footprint driving the L1 I-cache.
+	CodeSet uint64
+
+	// CryptoEvery, when non-zero, emits one cryptographic (signing)
+	// instruction every N dynamic instructions. Crypto instructions are
+	// the §5.8 barriers: they wait for all outstanding integrity checks.
+	// The paper notes they are "very infrequent" (every few seconds) and
+	// excludes them from steady-state measurement; the default is 0.
+	CryptoEvery uint64
+}
+
+// Synthetic generates a deterministic instruction stream from a Profile.
+type Synthetic struct {
+	p          Profile
+	rng        *RNG
+	pc         uint64
+	streams    []uint64
+	nextStrm   int
+	sinceLoad  uint32
+	count      uint64
+	regionBase uint64
+	runLeft    int
+	chaseBase  uint64
+	chaseLeft  int
+}
+
+// NewSynthetic builds a generator for profile p with the given seed.
+func NewSynthetic(p Profile, seed uint64) *Synthetic {
+	if p.WorkingSet == 0 {
+		p.WorkingSet = 1 << 20
+	}
+	if p.HotSet == 0 {
+		p.HotSet = 16 << 10
+	}
+	if p.CodeSet == 0 {
+		p.CodeSet = 64 << 10
+	}
+	if p.SeqStride == 0 {
+		p.SeqStride = 8
+	}
+	if p.Streams <= 0 {
+		p.Streams = 1
+	}
+	if p.ColdRegion == 0 {
+		p.ColdRegion = 2 << 10
+	}
+	if p.ColdRegion > p.WorkingSet {
+		p.ColdRegion = p.WorkingSet
+	}
+	if p.ColdRun <= 0 {
+		p.ColdRun = 12
+	}
+	if p.ChaseRegion == 0 || p.ChaseRegion > p.WorkingSet {
+		p.ChaseRegion = p.WorkingSet
+	}
+	g := &Synthetic{p: p, rng: NewRNG(seed)}
+	g.streams = make([]uint64, p.Streams)
+	span := p.WorkingSet / uint64(p.Streams)
+	for i := range g.streams {
+		// Spread stream cursors through the working set so concurrent
+		// sweeps touch distinct regions, like distinct arrays. The phase
+		// within each span is randomized: evenly spaced cursors would
+		// alias to the same cache set and thrash in lockstep, which real
+		// arrays (with headers, padding, different shapes) do not.
+		g.streams[i] = span*uint64(i) + g.rng.Uint64()%span
+	}
+	return g
+}
+
+// Name implements Generator.
+func (g *Synthetic) Name() string { return g.p.Name }
+
+const wordAlign = ^uint64(7)
+
+// skewed draws an offset in [0, size) with a front-weighted quadratic
+// distribution. Real hot regions are not uniformly hot — a few structures
+// dominate — so losing part of the cache to hash lines degrades hit rates
+// gradually instead of falling off a capacity cliff.
+func skewed(rng *RNG, size uint64) uint64 {
+	r := rng.Float64()
+	return uint64(r * r * float64(size))
+}
+
+// dataAddr produces the next load/store address and reports whether it is
+// a serialized pointer chase.
+func (g *Synthetic) dataAddr() (addr uint64, chase bool) {
+	p := &g.p
+	r := g.rng.Float64()
+	if r < p.HotFrac {
+		return skewed(g.rng, p.HotSet) & wordAlign, false
+	}
+	r = g.rng.Float64()
+	switch {
+	case r < p.SeqFrac:
+		i := g.nextStrm
+		g.nextStrm = (g.nextStrm + 1) % len(g.streams)
+		g.streams[i] = (g.streams[i] + p.SeqStride) % p.WorkingSet
+		return g.streams[i] & wordAlign, false
+	case r < p.SeqFrac+p.ChaseFrac:
+		if g.chaseLeft == 0 {
+			g.chaseBase = g.rng.Uint64() % (p.WorkingSet - p.ChaseRegion + 1)
+			g.chaseLeft = 1 << 17
+		}
+		g.chaseLeft--
+		return (g.chaseBase + skewed(g.rng, p.ChaseRegion)) & wordAlign, true
+	case r < p.SeqFrac+p.ChaseFrac+p.ScatterFrac:
+		return (g.rng.Uint64() % p.WorkingSet) & wordAlign, false
+	default:
+		if g.runLeft == 0 {
+			// Region popularity is front-skewed: block popularity in real
+			// programs is Zipf-like, so caches hold a graded hot front
+			// rather than facing a uniform working set that falls off a
+			// capacity cliff when hash lines take their share.
+			g.regionBase = skewed(g.rng, p.WorkingSet-p.ColdRegion+1)
+			g.runLeft = p.ColdRun
+		}
+		g.runLeft--
+		// Walk the region sequentially: programs scan records and
+		// structs, they do not sample them uniformly. The resulting
+		// spatial locality is what lets cached hash-tree nodes be reused
+		// across adjacent misses.
+		off := (uint64(p.ColdRun-1-g.runLeft) * 8) % p.ColdRegion
+		return (g.regionBase + off) & wordAlign, false
+	}
+}
+
+// Next implements Generator.
+func (g *Synthetic) Next(ins *Instruction) {
+	p := &g.p
+	*ins = Instruction{}
+	g.count++
+	g.sinceLoad++
+
+	// Program counter: mostly sequential, jumping on taken branches.
+	g.pc += 4
+	if g.pc >= p.CodeSet {
+		g.pc = 0
+	}
+	ins.PC = g.pc
+
+	if p.CryptoEvery != 0 && g.count%p.CryptoEvery == 0 {
+		ins.Op = OpCrypto
+		return
+	}
+
+	r := g.rng.Float64()
+	switch {
+	case r < p.Load:
+		ins.Op = OpLoad
+	case r < p.Load+p.Store:
+		ins.Op = OpStore
+	case r < p.Load+p.Store+p.FP:
+		ins.Op = OpFP
+	case r < p.Load+p.Store+p.FP+p.Mul:
+		ins.Op = OpMul
+	case r < p.Load+p.Store+p.FP+p.Mul+p.Branch:
+		ins.Op = OpBranch
+	default:
+		ins.Op = OpInt
+	}
+
+	switch ins.Op {
+	case OpLoad, OpStore:
+		addr, chase := g.dataAddr()
+		ins.Addr = addr
+		if chase && g.sinceLoad < 64 {
+			// The chased address came out of the previous load.
+			ins.Dep1 = g.sinceLoad
+		}
+		if ins.Op == OpLoad {
+			g.sinceLoad = 0
+		}
+	case OpBranch:
+		if g.rng.Float64() < p.Mispredict {
+			ins.Mispredict = true
+		}
+		if g.rng.Float64() < 0.4 {
+			// Taken branch: usually a short local jump (loops, if/else),
+			// occasionally a far call into the rest of the code footprint.
+			if g.rng.Float64() < 0.9 {
+				delta := g.rng.Uint64() % 2048
+				g.pc = (g.pc + p.CodeSet - delta) % p.CodeSet &^ 3
+			} else {
+				g.pc = (g.rng.Uint64() % p.CodeSet) &^ 3
+			}
+		}
+	}
+
+	// Register dependencies create the dataflow limiting ILP.
+	if ins.Dep1 == 0 && g.rng.Float64() < p.DepNear {
+		ins.Dep1 = uint32(1 + g.rng.Intn(4))
+	}
+	if g.rng.Float64() < p.DepFar {
+		ins.Dep2 = uint32(5 + g.rng.Intn(28))
+	}
+	if uint64(ins.Dep1) > g.count-1 {
+		ins.Dep1 = 0
+	}
+	if uint64(ins.Dep2) > g.count-1 {
+		ins.Dep2 = 0
+	}
+}

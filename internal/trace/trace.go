@@ -1,0 +1,99 @@
+// Package trace generates the synthetic instruction streams that stand in
+// for the paper's nine SPEC CPU2000 benchmarks. Real Alpha binaries cannot
+// be replayed here, so each benchmark is modeled as a parameterized
+// generator reproducing the traits the paper's analysis depends on:
+// working-set size and locality (L2 miss rate), streaming versus
+// pointer-chasing access (bandwidth demand and memory-level parallelism),
+// instruction mix and dependency density (ILP), and branch behaviour.
+package trace
+
+// Op classifies an instruction for the timing model.
+type Op uint8
+
+// Instruction kinds.
+const (
+	OpInt    Op = iota // 1-cycle integer ALU
+	OpMul              // 3-cycle multiply
+	OpFP               // 4-cycle floating point
+	OpLoad             // memory load
+	OpStore            // memory store
+	OpBranch           // 1-cycle branch (may mispredict)
+	OpCrypto           // cryptographic instruction: §5.8 barrier, waits for all checks
+	numOps
+)
+
+// String returns a short mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpInt:
+		return "int"
+	case OpMul:
+		return "mul"
+	case OpFP:
+		return "fp"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	case OpCrypto:
+		return "crypto"
+	}
+	return "?"
+}
+
+// Instruction is one dynamic instruction. Dep1/Dep2 are backward distances
+// to producing instructions (0 = no dependency): instruction i reads the
+// results of instructions i-Dep1 and i-Dep2.
+type Instruction struct {
+	PC         uint64 // instruction address (drives the L1 I-cache)
+	Addr       uint64 // data address for loads and stores
+	Dep1, Dep2 uint32
+	Op         Op
+	Mispredict bool // branch that the predictor will miss
+}
+
+// Generator produces an instruction stream. Implementations are
+// deterministic for a given seed so experiments are reproducible.
+type Generator interface {
+	// Name identifies the workload (benchmark name).
+	Name() string
+	// Next fills in the next dynamic instruction.
+	Next(ins *Instruction)
+}
+
+// RNG is a small deterministic xorshift64* generator, so traces do not
+// depend on math/rand ordering across Go releases.
+type RNG struct {
+	s uint64
+}
+
+// NewRNG seeds a generator; a zero seed is replaced with a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}

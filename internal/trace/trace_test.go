@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds gave the same first value")
+	}
+	// Zero seed must still work.
+	if NewRNG(0).Uint64() == 0 {
+		t.Error("zero seed produced zero")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewSynthetic(GCC, 5)
+	b := NewSynthetic(GCC, 5)
+	var ia, ib Instruction
+	for i := 0; i < 10000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia != ib {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, ia, ib)
+		}
+	}
+}
+
+func TestAddressesInBounds(t *testing.T) {
+	for _, p := range Benchmarks {
+		g := NewSynthetic(p, 1)
+		var ins Instruction
+		for i := 0; i < 20000; i++ {
+			g.Next(&ins)
+			if ins.Op == OpLoad || ins.Op == OpStore {
+				if ins.Addr >= p.WorkingSet {
+					t.Fatalf("%s: address %#x outside working set %#x", p.Name, ins.Addr, p.WorkingSet)
+				}
+				if ins.Addr%8 != 0 {
+					t.Fatalf("%s: unaligned address %#x", p.Name, ins.Addr)
+				}
+			}
+			if ins.PC >= p.CodeSet {
+				t.Fatalf("%s: PC %#x outside code set", p.Name, ins.PC)
+			}
+		}
+	}
+}
+
+func TestInstructionMixMatchesProfile(t *testing.T) {
+	p := GCC
+	g := NewSynthetic(p, 1)
+	var ins Instruction
+	const n = 200000
+	counts := map[Op]int{}
+	for i := 0; i < n; i++ {
+		g.Next(&ins)
+		counts[ins.Op]++
+	}
+	checks := []struct {
+		op   Op
+		want float64
+	}{
+		{OpLoad, p.Load}, {OpStore, p.Store}, {OpBranch, p.Branch}, {OpMul, p.Mul},
+	}
+	for _, c := range checks {
+		got := float64(counts[c.op]) / n
+		if got < c.want*0.9 || got > c.want*1.1 {
+			t.Errorf("%v fraction %f, want ~%f", c.op, got, c.want)
+		}
+	}
+}
+
+func TestDependencyDistancesValid(t *testing.T) {
+	g := NewSynthetic(MCF, 2)
+	var ins Instruction
+	for i := uint64(0); i < 50000; i++ {
+		g.Next(&ins)
+		if uint64(ins.Dep1) > i || uint64(ins.Dep2) > i {
+			t.Fatalf("instruction %d depends beyond program start (%d, %d)", i, ins.Dep1, ins.Dep2)
+		}
+	}
+}
+
+func TestChaseSerializesLoads(t *testing.T) {
+	p := Profile{
+		Name: "chase", Load: 1.0,
+		WorkingSet: 1 << 20, HotFrac: 0, ChaseFrac: 1.0,
+	}
+	g := NewSynthetic(p, 1)
+	var ins Instruction
+	deps := 0
+	for i := 0; i < 1000; i++ {
+		g.Next(&ins)
+		if ins.Dep1 != 0 {
+			deps++
+		}
+	}
+	if deps < 900 {
+		t.Errorf("only %d/1000 chased loads carry a dependency", deps)
+	}
+}
+
+func TestStreamsAreSequential(t *testing.T) {
+	p := Stream("s", 1<<20, 8)
+	p.Streams = 1
+	g := NewSynthetic(p, 1)
+	var ins Instruction
+	var last uint64
+	first := true
+	for i := 0; i < 1000; i++ {
+		g.Next(&ins)
+		if ins.Op != OpLoad && ins.Op != OpStore {
+			continue
+		}
+		if !first && ins.Addr != last+8 && ins.Addr != 0 { // wrap allowed
+			t.Fatalf("stream jumped from %#x to %#x", last, ins.Addr)
+		}
+		last = ins.Addr
+		first = false
+	}
+}
+
+func TestRegionalWalkIsLocal(t *testing.T) {
+	p := Uniform("u", 1<<24)
+	p.ColdRegion = 1 << 10
+	p.ColdRun = 32
+	g := NewSynthetic(p, 9)
+	var ins Instruction
+	var addrs []uint64
+	for len(addrs) < 64 {
+		g.Next(&ins)
+		if ins.Op == OpLoad || ins.Op == OpStore {
+			addrs = append(addrs, ins.Addr)
+		}
+	}
+	// Within one 32-access run, addresses must stay within the region.
+	for i := 1; i < 32; i++ {
+		d := int64(addrs[i]) - int64(addrs[i-1])
+		if d < 0 {
+			d = -d
+		}
+		if uint64(d) > p.ColdRegion {
+			t.Fatalf("access %d jumped %d bytes within a run", i, d)
+		}
+	}
+}
+
+func TestSkewedFrontWeighted(t *testing.T) {
+	r := NewRNG(4)
+	const size = 1 << 20
+	front := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if skewed(r, size) < size/4 {
+			front++
+		}
+	}
+	// Quadratic skew: P(x < size/4) = 1/2.
+	if float64(front)/n < 0.45 || float64(front)/n > 0.55 {
+		t.Errorf("front quarter got %d/%d draws, want ~50%%", front, n)
+	}
+}
+
+func TestSkewedInRange(t *testing.T) {
+	r := NewRNG(8)
+	check := func(sz uint32) bool {
+		size := uint64(sz)%(1<<20) + 1
+		v := skewed(r, size)
+		return v < size
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, p := range Benchmarks {
+		got, ok := ByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Errorf("ByName(%q) failed", p.Name)
+		}
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Error("ByName(doom) succeeded")
+	}
+	if len(Benchmarks) != 9 {
+		t.Errorf("expected the paper's nine benchmarks, got %d", len(Benchmarks))
+	}
+}
+
+func TestProfileFractionsSane(t *testing.T) {
+	for _, p := range Benchmarks {
+		if sum := p.Load + p.Store + p.FP + p.Mul + p.Branch; sum > 1.0 {
+			t.Errorf("%s: instruction mix sums to %f", p.Name, sum)
+		}
+		if p.HotFrac < 0 || p.HotFrac > 1 {
+			t.Errorf("%s: HotFrac %f", p.Name, p.HotFrac)
+		}
+		if cold := p.SeqFrac + p.ChaseFrac + p.ScatterFrac; cold > 1.0 {
+			t.Errorf("%s: cold fractions sum to %f", p.Name, cold)
+		}
+		if p.WorkingSet == 0 || p.CodeSet == 0 {
+			t.Errorf("%s: zero working or code set", p.Name)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{
+		OpInt: "int", OpMul: "mul", OpFP: "fp",
+		OpLoad: "load", OpStore: "store", OpBranch: "branch",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if Op(99).String() != "?" {
+		t.Error("unknown op name")
+	}
+}
+
+func TestCryptoEveryEmitsBarriers(t *testing.T) {
+	p := Uniform("crypto", 1<<20)
+	p.CryptoEvery = 100
+	g := NewSynthetic(p, 1)
+	var ins Instruction
+	crypto := 0
+	for i := 0; i < 10_000; i++ {
+		g.Next(&ins)
+		if ins.Op == OpCrypto {
+			crypto++
+		}
+	}
+	if crypto != 100 {
+		t.Errorf("emitted %d crypto instructions in 10k, want 100", crypto)
+	}
+}

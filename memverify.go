@@ -1,0 +1,79 @@
+// Package memverify is a library-scale reproduction of "Caches and Hash
+// Trees for Efficient Memory Integrity Verification" (Gassend, Suh,
+// Clarke, van Dijk, Devadas — HPCA 2003): a processor simulator whose
+// unified L2 cache integrates hash-tree machinery to verify untrusted
+// external memory, together with the naive, cached (c), multi-block (m)
+// and incremental-MAC (i) schemes the paper evaluates, the nine
+// SPEC-CPU2000-like workloads it measures, and a harness that regenerates
+// every table and figure of its evaluation section.
+//
+// Quick start:
+//
+//	cfg := memverify.DefaultConfig()        // Table 1 parameters
+//	cfg.Scheme = memverify.SchemeCached     // the paper's best scheme
+//	cfg.Benchmark, _ = memverify.BenchmarkByName("swim")
+//	m, err := memverify.Run(cfg)
+//	fmt.Println(m) // IPC, miss rates, bus traffic, violations
+//
+// The deeper layers are exposed for direct use: internal/htree is a
+// standalone Merkle-tree library over flat memory, internal/integrity
+// holds the verification engines, and internal/figures regenerates the
+// paper's evaluation.
+package memverify
+
+import (
+	"memverify/internal/core"
+	"memverify/internal/figures"
+	"memverify/internal/trace"
+)
+
+// Scheme selects a verification engine; see the constants below.
+type Scheme = core.Scheme
+
+// The paper's five schemes.
+const (
+	// SchemeBase is a standard processor without verification.
+	SchemeBase = core.SchemeBase
+	// SchemeNaive verifies with an uncached hash tree.
+	SchemeNaive = core.SchemeNaive
+	// SchemeCached is the paper's contribution: tree nodes cached in L2.
+	SchemeCached = core.SchemeCached
+	// SchemeMulti uses multi-block chunks.
+	SchemeMulti = core.SchemeMulti
+	// SchemeIncr uses incremental MACs with 1-bit timestamps.
+	SchemeIncr = core.SchemeIncr
+)
+
+// Config describes one simulation; DefaultConfig returns Table 1.
+type Config = core.Config
+
+// Metrics is a simulation's results.
+type Metrics = core.Metrics
+
+// Machine is an assembled simulated computer for fine-grained control.
+type Machine = core.Machine
+
+// Profile parameterizes a synthetic workload.
+type Profile = trace.Profile
+
+// FigureParams drives regeneration of the paper's tables and figures.
+type FigureParams = figures.Params
+
+// DefaultConfig returns the paper's architectural parameters (Table 1).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run simulates cfg and returns its metrics.
+func Run(cfg Config) (Metrics, error) { return core.Run(cfg) }
+
+// NewMachine assembles a machine without running it.
+func NewMachine(cfg Config) (*Machine, error) { return core.NewMachine(cfg) }
+
+// Benchmarks returns the nine SPEC CPU2000 workload profiles of §6.3.
+func Benchmarks() []Profile { return trace.Benchmarks }
+
+// BenchmarkByName returns the named workload profile.
+func BenchmarkByName(name string) (Profile, bool) { return trace.ByName(name) }
+
+// DefaultFigureParams returns a per-point budget that regenerates the
+// full figure suite in minutes.
+func DefaultFigureParams() FigureParams { return figures.DefaultParams() }

@@ -1,0 +1,38 @@
+package memverify
+
+import "testing"
+
+// TestFacade exercises the root package's re-exports end to end.
+func TestFacade(t *testing.T) {
+	if len(Benchmarks()) != 9 {
+		t.Fatalf("Benchmarks() returned %d profiles", len(Benchmarks()))
+	}
+	p, ok := BenchmarkByName("mcf")
+	if !ok || p.Name != "mcf" {
+		t.Fatal("BenchmarkByName failed")
+	}
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeCached
+	cfg.Benchmark = p
+	cfg.Instructions = 20_000
+	cfg.Warmup = 5_000
+	mt, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Violations != 0 || mt.IPC <= 0 {
+		t.Fatalf("metrics: %+v", mt)
+	}
+	if _, err := NewMachine(cfg); err != nil {
+		t.Fatal(err)
+	}
+	fp := DefaultFigureParams()
+	if fp.Instructions == 0 {
+		t.Fatal("figure params empty")
+	}
+	for _, s := range []Scheme{SchemeBase, SchemeNaive, SchemeCached, SchemeMulti, SchemeIncr} {
+		if s == "" {
+			t.Fatal("empty scheme constant")
+		}
+	}
+}
