@@ -7,6 +7,7 @@ package memverify
 // tables.
 
 import (
+	"flag"
 	"io"
 	"testing"
 
@@ -15,6 +16,11 @@ import (
 	"memverify/internal/trace"
 )
 
+// benchWorkers selects the figure benchmarks' sweep parallelism; the
+// default mirrors cmd/figures (all cores). `go test -bench Fig -workers 1`
+// measures the serial reference.
+var benchWorkers = flag.Int("workers", 0, "concurrent simulations in figure benchmarks (0 = all cores)")
+
 // benchParams is the reduced per-point budget used by the benchmarks.
 func benchParams() figures.Params {
 	return figures.Params{
@@ -22,6 +28,7 @@ func benchParams() figures.Params {
 		Warmup:       20_000,
 		Seed:         1,
 		Benchmarks:   trace.Benchmarks,
+		Workers:      *benchWorkers,
 		Progress:     io.Discard,
 	}
 }
@@ -138,6 +145,9 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			cfg.Warmup = 0
 			var lastIPC float64
 			b.SetBytes(int64(cfg.Instructions)) // bytes ~ instructions
+			// Allocation regression gate: the per-access hot path must not
+			// allocate; what remains is one-time machine construction.
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mt, err := Run(cfg)
 				if err != nil {

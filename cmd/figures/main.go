@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	figures                 # everything (several minutes on one core)
+//	figures                 # everything, all cores (several minutes)
 //	figures -fig3 -n 300000 # just Figure 3 with a larger budget
+//	figures -workers 1      # reference serial run (identical output)
 package main
 
 import (
@@ -14,12 +15,15 @@ import (
 
 	"memverify/internal/core"
 	"memverify/internal/figures"
+	"memverify/internal/profiling"
 )
 
 func main() {
 	n := flag.Uint64("n", 0, "instructions per simulation point (default 200000)")
 	warm := flag.Uint64("warmup", 0, "warm-up instructions per point (default 150000)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = all cores, 1 = serial)")
+	prof := profiling.AddFlags()
 	verbose := flag.Bool("v", false, "print each run's one-line summary")
 	table1 := flag.Bool("table1", false, "print Table 1")
 	fig3 := flag.Bool("fig3", false, "print Figure 3 (IPC, 6 cache configs)")
@@ -32,6 +36,13 @@ func main() {
 	csvPath := flag.String("csv", "", "also write every run's configuration and metrics to a CSV file")
 	flag.Parse()
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
 	p := figures.DefaultParams()
 	if *n > 0 {
 		p.Instructions = *n
@@ -40,6 +51,7 @@ func main() {
 		p.Warmup = *warm
 	}
 	p.Seed = *seed
+	p.Workers = *workers
 	if *verbose {
 		p.Progress = os.Stderr
 	}

@@ -13,11 +13,13 @@ import (
 	"os"
 
 	"memverify/internal/core"
+	"memverify/internal/profiling"
 	"memverify/internal/trace"
 )
 
 func main() {
 	cfg := core.DefaultConfig()
+	prof := profiling.AddFlags()
 	scheme := flag.String("scheme", "c", "verification scheme: base, naive, c, m, i")
 	bench := flag.String("bench", "gcc", "benchmark: gcc gzip mcf twolf vortex vpr applu art swim")
 	n := flag.Uint64("n", 1_000_000, "instructions to simulate")
@@ -34,6 +36,13 @@ func main() {
 	record := flag.String("record", "", "record the workload's first -n instructions to a trace file and exit")
 	replay := flag.String("replay", "", "drive the simulation from a recorded trace file instead of the synthetic generator")
 	flag.Parse()
+
+	stopProf, perr := prof.Start()
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg.Scheme = core.Scheme(*scheme)
 	cfg.Instructions = *n

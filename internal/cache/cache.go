@@ -104,9 +104,13 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two", cfg.Name, nsets))
 	}
 	c := &Cache{cfg: cfg, nsets: nsets}
+	// One flat backing array sliced per set: a large L2 has thousands of
+	// sets, and simulation sweeps construct thousands of machines, so the
+	// per-set allocations dominated machine-construction cost.
+	lines := make([]Line, nsets*cfg.Ways)
 	c.sets = make([][]Line, nsets)
 	for i := range c.sets {
-		c.sets[i] = make([]Line, cfg.Ways)
+		c.sets[i] = lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
 		c.shift++
@@ -205,13 +209,9 @@ func (c *Cache) Fill(addr uint64, class Class, data []byte) Line {
 		if evicted.Dirty {
 			c.Stat.WriteBacks[evicted.Class]++
 		}
-		// Hand the caller its own copy of the data so a subsequent refill
-		// of this slot cannot alias it.
-		if evicted.Data != nil {
-			d := make([]byte, len(evicted.Data))
-			copy(d, evicted.Data)
-			evicted.Data = d
-		}
+		// The caller takes ownership of the victim's data buffer: the slot
+		// below receives a brand-new buffer, so no alias to the evicted
+		// bytes remains inside the cache.
 	} else {
 		c.filled++
 	}

@@ -22,17 +22,20 @@ var AblationArities = []int{8, 16}
 func (p Params) AblationArity() *stats.Table {
 	t := stats.NewTable("Ablation: tree arity via hash size (scheme c, 1MB, 64B)",
 		"bench", "IPC 8B-hash (8-ary)", "IPC 16B-hash (4-ary)", "extra/miss 8B", "extra/miss 16B")
+	var pts []point
 	for _, b := range p.benches() {
-		var ipc, extra [2]float64
-		for i, hs := range AblationArities {
-			mt := p.runOne(b, func(c *core.Config) {
+		for _, hs := range AblationArities {
+			hs := hs
+			pts = append(pts, point{b, func(c *core.Config) {
 				schemeCfg(core.SchemeCached)(c)
 				c.HashSize = hs
-			})
-			ipc[i] = mt.IPC
-			extra[i] = mt.ExtraPerMiss
+			}})
 		}
-		t.AddRow(b.Name, ipc[0], ipc[1], extra[0], extra[1])
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := mts[bi*len(AblationArities):]
+		t.AddRow(b.Name, row[0].IPC, row[1].IPC, row[0].ExtraPerMiss, row[1].ExtraPerMiss)
 	}
 	return t
 }
@@ -47,15 +50,22 @@ var AblationHashLatencies = []uint64{20, 80, 160, 320}
 func (p Params) AblationHashLatency() *stats.Table {
 	t := stats.NewTable("Ablation: hash latency with proportional buffers (scheme c, 1MB, 64B)",
 		"bench", "20cy/4buf", "80cy/16buf", "160cy/32buf", "320cy/64buf")
+	var pts []point
 	for _, b := range p.benches() {
-		row := []interface{}{b.Name}
 		for _, lat := range AblationHashLatencies {
-			mt := p.runOne(b, func(c *core.Config) {
+			lat := lat
+			pts = append(pts, point{b, func(c *core.Config) {
 				schemeCfg(core.SchemeCached)(c)
 				c.HashLatency = lat
 				c.HashBuffers = int(lat / 5)
-			})
-			row = append(row, mt.IPC)
+			}})
+		}
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for i := range AblationHashLatencies {
+			row = append(row, mts[bi*len(AblationHashLatencies)+i].IPC)
 		}
 		t.AddRow(row...)
 	}
@@ -71,18 +81,24 @@ var AblationAssocs = []int{1, 2, 4, 8}
 func (p Params) AblationAssoc() *stats.Table {
 	t := stats.NewTable("Ablation: L2 associativity (1MB, 64B), IPC base/c per way count",
 		"bench", "1-way c/base", "2-way c/base", "4-way c/base", "8-way c/base")
+	var pts []point
 	for _, b := range p.benches() {
-		row := []interface{}{b.Name}
 		for _, ways := range AblationAssocs {
-			var ipc [2]float64
-			for i, s := range []core.Scheme{core.SchemeBase, core.SchemeCached} {
-				mt := p.runOne(b, func(c *core.Config) {
+			for _, s := range []core.Scheme{core.SchemeBase, core.SchemeCached} {
+				ways, s := ways, s
+				pts = append(pts, point{b, func(c *core.Config) {
 					schemeCfg(s)(c)
 					c.L2Ways = ways
-				})
-				ipc[i] = mt.IPC
+				}})
 			}
-			row = append(row, fmt.Sprintf("%.3f", ipc[1]/ipc[0]))
+		}
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for wi := range AblationAssocs {
+			pair := mts[(bi*len(AblationAssocs)+wi)*2:]
+			row = append(row, fmt.Sprintf("%.3f", pair[1].IPC/pair[0].IPC))
 		}
 		t.AddRow(row...)
 	}
@@ -99,16 +115,24 @@ func (p Params) AblationTreeDepth() *stats.Table {
 	t := stats.NewTable("Ablation: protected size vs extra reads per miss (256MB..16GB, 1MB L2)",
 		"bench", "naive 256MB", "naive 1GB", "naive 4GB", "naive 16GB",
 		"c 256MB", "c 1GB", "c 4GB", "c 16GB")
+	var pts []point
 	for _, b := range p.benches() {
-		row := []interface{}{b.Name}
 		for _, s := range []core.Scheme{core.SchemeNaive, core.SchemeCached} {
 			for _, sz := range AblationProtectedSizes {
-				mt := p.runOne(b, func(c *core.Config) {
+				s, sz := s, sz
+				pts = append(pts, point{b, func(c *core.Config) {
 					schemeCfg(s)(c)
 					c.ProtectedBytes = sz
-				})
-				row = append(row, mt.ExtraPerMiss)
+				}})
 			}
+		}
+	}
+	mts := p.runAll(pts)
+	perBench := 2 * len(AblationProtectedSizes)
+	for bi, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for i := 0; i < perBench; i++ {
+			row = append(row, mts[bi*perBench+i].ExtraPerMiss)
 		}
 		t.AddRow(row...)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"memverify/internal/core"
 	"memverify/internal/stats"
+	"memverify/internal/sweep"
 	"memverify/internal/trace"
 )
 
@@ -24,11 +25,18 @@ type Params struct {
 	Seed         uint64
 	// Benchmarks defaults to the paper's nine SPEC profiles.
 	Benchmarks []trace.Profile
-	// Progress, when non-nil, receives one line per completed run.
+	// Workers sets how many simulations run concurrently: 0 uses every
+	// core, 1 runs serially. Output is identical either way — each figure
+	// submits its whole batch to the sweep pool, which streams results in
+	// submission order.
+	Workers int
+	// Progress, when non-nil, receives one line per completed run, in
+	// submission order even under parallel execution.
 	Progress io.Writer
 	// Observer, when non-nil, receives every run's configuration and
 	// metrics — the hook cmd/figures uses to emit machine-readable CSV
-	// alongside the tables.
+	// alongside the tables. Calls arrive in submission order, serialized
+	// on one goroutine.
 	Observer func(cfg core.Config, mt core.Metrics)
 }
 
@@ -45,25 +53,55 @@ func (p *Params) benches() []trace.Profile {
 	return trace.Benchmarks
 }
 
-// runOne executes a single configured simulation.
-func (p *Params) runOne(bench trace.Profile, mutate func(*core.Config)) core.Metrics {
+// point is one simulation of a figure's batch: a benchmark plus the
+// configuration overrides that place it in the figure.
+type point struct {
+	bench  trace.Profile
+	mutate func(*core.Config)
+}
+
+// config materializes a point's full configuration.
+func (p *Params) config(pt point) core.Config {
 	cfg := core.DefaultConfig()
-	cfg.Benchmark = bench
+	cfg.Benchmark = pt.bench
 	cfg.Instructions = p.Instructions
 	cfg.Warmup = p.Warmup
 	cfg.Seed = p.Seed
-	mutate(&cfg)
-	mt, err := core.Run(cfg)
+	pt.mutate(&cfg)
+	return cfg
+}
+
+// runAll executes a batch of points on the sweep pool and returns the
+// metrics in submission order. Every configuration is validated up front,
+// so a bad point panics before any simulation starts — the same failure
+// point a serial run had. Progress and Observer fire in submission order
+// regardless of the worker count.
+func (p *Params) runAll(pts []point) []core.Metrics {
+	cfgs := make([]core.Config, len(pts))
+	for i, pt := range pts {
+		cfgs[i] = p.config(pt)
+		if err := cfgs[i].Validate(); err != nil {
+			panic(fmt.Sprintf("figures: invalid configuration for %s: %v", pt.bench.Name, err))
+		}
+	}
+	mts, err := sweep.New(p.Workers).Run(cfgs, func(_ int, cfg core.Config, mt core.Metrics) {
+		if p.Progress != nil {
+			fmt.Fprintf(p.Progress, "  %s\n", mt)
+		}
+		if p.Observer != nil {
+			p.Observer(cfg, mt)
+		}
+	})
 	if err != nil {
-		panic(fmt.Sprintf("figures: invalid configuration for %s: %v", bench.Name, err))
+		// Unreachable: validation above is core.Run's only error source.
+		panic(fmt.Sprintf("figures: run failed: %v", err))
 	}
-	if p.Progress != nil {
-		fmt.Fprintf(p.Progress, "  %s\n", mt)
-	}
-	if p.Observer != nil {
-		p.Observer(cfg, mt)
-	}
-	return mt
+	return mts
+}
+
+// runOne executes a single configured simulation.
+func (p *Params) runOne(bench trace.Profile, mutate func(*core.Config)) core.Metrics {
+	return p.runAll([]point{{bench, mutate}})[0]
 }
 
 // CSVHeader is the column list WriteCSVRow emits values for.
@@ -107,17 +145,23 @@ func (p Params) Fig3(cc Fig3Config) *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("Figure 3 (%dKB, %dB): IPC of base / c / naive", cc.L2Size>>10, cc.L2Block),
 		"bench", "base", "c", "naive", "c/base", "naive/base")
+	schemes := []core.Scheme{core.SchemeBase, core.SchemeCached, core.SchemeNaive}
+	var pts []point
 	for _, b := range p.benches() {
-		var ipc [3]float64
-		for i, s := range []core.Scheme{core.SchemeBase, core.SchemeCached, core.SchemeNaive} {
-			mt := p.runOne(b, func(c *core.Config) {
+		for _, s := range schemes {
+			s := s
+			pts = append(pts, point{b, func(c *core.Config) {
 				schemeCfg(s)(c)
 				c.L2Size = cc.L2Size
 				c.L2Block = cc.L2Block
-			})
-			ipc[i] = mt.IPC
+			}})
 		}
-		t.AddRow(b.Name, ipc[0], ipc[1], ipc[2], ipc[1]/ipc[0], ipc[2]/ipc[0])
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := mts[bi*len(schemes):]
+		t.AddRow(b.Name, row[0].IPC, row[1].IPC, row[2].IPC,
+			row[1].IPC/row[0].IPC, row[2].IPC/row[0].IPC)
 	}
 	return t
 }
@@ -127,20 +171,23 @@ func (p Params) Fig3(cc Fig3Config) *stats.Table {
 func (p Params) Fig4() *stats.Table {
 	t := stats.NewTable("Figure 4: L2 program-data miss rate (%), 64B blocks",
 		"bench", "base-256K", "c-256K", "base-4M", "c-4M")
+	var pts []point
 	for _, b := range p.benches() {
-		var mr [4]float64
-		i := 0
 		for _, size := range []int{256 << 10, 4 << 20} {
 			for _, s := range []core.Scheme{core.SchemeBase, core.SchemeCached} {
-				mt := p.runOne(b, func(c *core.Config) {
+				size, s := size, s
+				pts = append(pts, point{b, func(c *core.Config) {
 					schemeCfg(s)(c)
 					c.L2Size = size
-				})
-				mr[i] = 100 * mt.DataMissRate
-				i++
+				}})
 			}
 		}
-		t.AddRow(b.Name, mr[0], mr[1], mr[2], mr[3])
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := mts[bi*4:]
+		t.AddRow(b.Name, 100*row[0].DataMissRate, 100*row[1].DataMissRate,
+			100*row[2].DataMissRate, 100*row[3].DataMissRate)
 	}
 	return t
 }
@@ -151,16 +198,20 @@ func (p Params) Fig4() *stats.Table {
 func (p Params) Fig5() *stats.Table {
 	t := stats.NewTable("Figure 5: additional accesses per miss and normalized bandwidth (1MB, 64B)",
 		"bench", "extra/miss c", "extra/miss naive", "bandwidth c", "bandwidth naive")
+	schemes := []core.Scheme{core.SchemeBase, core.SchemeCached, core.SchemeNaive}
+	var pts []point
 	for _, b := range p.benches() {
-		var extra [2]float64
-		var bw [2]float64
-		base := p.runOne(b, schemeCfg(core.SchemeBase))
-		for i, s := range []core.Scheme{core.SchemeCached, core.SchemeNaive} {
-			mt := p.runOne(b, schemeCfg(s))
-			extra[i] = mt.ExtraPerMiss
-			bw[i] = stats.Ratio(mt.BusBytes, base.BusBytes)
+		for _, s := range schemes {
+			pts = append(pts, point{b, schemeCfg(s)})
 		}
-		t.AddRow(b.Name, extra[0], extra[1], bw[0], bw[1])
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := mts[bi*len(schemes):]
+		base, c, naive := row[0], row[1], row[2]
+		t.AddRow(b.Name, c.ExtraPerMiss, naive.ExtraPerMiss,
+			stats.Ratio(c.BusBytes, base.BusBytes),
+			stats.Ratio(naive.BusBytes, base.BusBytes))
 	}
 	return t
 }
@@ -174,14 +225,21 @@ var Fig6Throughputs = []float64{6.4, 3.2, 1.6, 0.8}
 func (p Params) Fig6() *stats.Table {
 	t := stats.NewTable("Figure 6: IPC of c vs hash throughput (1MB, 64B)",
 		"bench", "6.4 GB/s", "3.2 GB/s", "1.6 GB/s", "0.8 GB/s")
+	var pts []point
 	for _, b := range p.benches() {
-		row := []interface{}{b.Name}
 		for _, tp := range Fig6Throughputs {
-			mt := p.runOne(b, func(c *core.Config) {
+			tp := tp
+			pts = append(pts, point{b, func(c *core.Config) {
 				schemeCfg(core.SchemeCached)(c)
 				c.HashBytesPerCycle = tp
-			})
-			row = append(row, mt.IPC)
+			}})
+		}
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for i := range Fig6Throughputs {
+			row = append(row, mts[bi*len(Fig6Throughputs)+i].IPC)
 		}
 		t.AddRow(row...)
 	}
@@ -196,14 +254,21 @@ var Fig7Buffers = []int{1, 2, 4, 8, 16, 32}
 func (p Params) Fig7() *stats.Table {
 	t := stats.NewTable("Figure 7: IPC of c vs hash buffer size (1MB, 64B)",
 		"bench", "1", "2", "4", "8", "16", "32")
+	var pts []point
 	for _, b := range p.benches() {
-		row := []interface{}{b.Name}
 		for _, n := range Fig7Buffers {
-			mt := p.runOne(b, func(c *core.Config) {
+			n := n
+			pts = append(pts, point{b, func(c *core.Config) {
 				schemeCfg(core.SchemeCached)(c)
 				c.HashBuffers = n
-			})
-			row = append(row, mt.IPC)
+			}})
+		}
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := []interface{}{b.Name}
+		for i := range Fig7Buffers {
+			row = append(row, mts[bi*len(Fig7Buffers)+i].IPC)
 		}
 		t.AddRow(row...)
 	}
@@ -216,15 +281,21 @@ func (p Params) Fig7() *stats.Table {
 func (p Params) Fig8() *stats.Table {
 	t := stats.NewTable("Figure 8: IPC of c-64B / c-128B / m-64B / i-64B (1MB L2)",
 		"bench", "c-64B", "c-128B", "m-64B", "i-64B")
+	var pts []point
 	for _, b := range p.benches() {
-		c64 := p.runOne(b, schemeCfg(core.SchemeCached))
-		c128 := p.runOne(b, func(c *core.Config) {
-			schemeCfg(core.SchemeCached)(c)
-			c.L2Block = 128
-		})
-		m64 := p.runOne(b, schemeCfg(core.SchemeMulti))
-		i64 := p.runOne(b, schemeCfg(core.SchemeIncr))
-		t.AddRow(b.Name, c64.IPC, c128.IPC, m64.IPC, i64.IPC)
+		pts = append(pts,
+			point{b, schemeCfg(core.SchemeCached)},
+			point{b, func(c *core.Config) {
+				schemeCfg(core.SchemeCached)(c)
+				c.L2Block = 128
+			}},
+			point{b, schemeCfg(core.SchemeMulti)},
+			point{b, schemeCfg(core.SchemeIncr)})
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := mts[bi*4:]
+		t.AddRow(b.Name, row[0].IPC, row[1].IPC, row[2].IPC, row[3].IPC)
 	}
 	return t
 }

@@ -22,7 +22,10 @@ const (
 )
 
 // Sum implements Algorithm.
-func (FNV128) Sum(data []byte) []byte {
+func (f FNV128) Sum(data []byte) []byte { return f.AppendSum(nil, data) }
+
+// AppendSum implements Algorithm.
+func (FNV128) AppendSum(dst, data []byte) []byte {
 	h1 := uint64(fnvOffset64)
 	h2 := uint64(fnvOffsetAlt)
 	for _, b := range data {
@@ -33,10 +36,8 @@ func (FNV128) Sum(data []byte) []byte {
 	// still diffuse into every output byte.
 	h1 = mix64(h1)
 	h2 = mix64(h2 ^ h1)
-	out := make([]byte, 16)
-	binary.LittleEndian.PutUint64(out[0:], h1)
-	binary.LittleEndian.PutUint64(out[8:], h2)
-	return out
+	dst = binary.LittleEndian.AppendUint64(dst, h1)
+	return binary.LittleEndian.AppendUint64(dst, h2)
 }
 
 // mix64 is the SplitMix64 finalizer.

@@ -12,14 +12,24 @@ package hashalg
 import "fmt"
 
 // Algorithm computes a one-shot digest over a byte slice. Implementations
-// must be safe for concurrent use by multiple goroutines.
+// must be safe for concurrent use by multiple goroutines: every method may
+// be called from many goroutines at once with no external locking, which
+// in practice means implementations are stateless values whose per-call
+// state lives on the stack.
 type Algorithm interface {
 	// Name returns a short identifier such as "md5" or "sha1".
 	Name() string
 	// Size returns the digest length in bytes.
 	Size() int
-	// Sum returns the digest of data in a freshly allocated slice.
+	// Sum returns the digest of data in a freshly allocated slice the
+	// caller owns; successive calls never alias each other's results.
 	Sum(data []byte) []byte
+	// AppendSum appends the digest of data to dst and returns the
+	// extended slice, allocating nothing when dst has Size() spare
+	// capacity. It is the hot-path form of Sum: the result aliases dst's
+	// backing array (not internal state), so — like Sum — concurrent
+	// calls are safe as long as each goroutine supplies its own dst.
+	AppendSum(dst, data []byte) []byte
 }
 
 // New returns the algorithm registered under name: "md5", "sha1" or

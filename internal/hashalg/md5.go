@@ -16,11 +16,15 @@ func (MD5) Name() string { return "md5" }
 func (MD5) Size() int { return 16 }
 
 // Sum implements Algorithm.
-func (MD5) Sum(data []byte) []byte {
-	d := newMD5State()
+func (m MD5) Sum(data []byte) []byte { return m.AppendSum(nil, data) }
+
+// AppendSum implements Algorithm. The digest state lives on the stack, so
+// the call allocates only when dst lacks spare capacity.
+func (MD5) AppendSum(dst, data []byte) []byte {
+	d := md5State{s: md5Init}
 	d.write(data)
 	s := d.checkSum()
-	return s[:]
+	return append(dst, s[:]...)
 }
 
 // md5K is the table K[i] = floor(2^32 * |sin(i+1)|) from RFC 1321 §3.4.
@@ -49,8 +53,10 @@ type md5State struct {
 	len uint64
 }
 
+var md5Init = [4]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
+
 func newMD5State() *md5State {
-	return &md5State{s: [4]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}}
+	return &md5State{s: md5Init}
 }
 
 func (d *md5State) write(p []byte) {

@@ -13,11 +13,15 @@ func (SHA1) Name() string { return "sha1" }
 func (SHA1) Size() int { return 20 }
 
 // Sum implements Algorithm.
-func (SHA1) Sum(data []byte) []byte {
-	d := newSHA1State()
+func (s SHA1) Sum(data []byte) []byte { return s.AppendSum(nil, data) }
+
+// AppendSum implements Algorithm. The digest state lives on the stack, so
+// the call allocates only when dst lacks spare capacity.
+func (SHA1) AppendSum(dst, data []byte) []byte {
+	d := sha1State{h: sha1Init}
 	d.write(data)
 	s := d.checkSum()
-	return s[:]
+	return append(dst, s[:]...)
 }
 
 const sha1BlockSize = 64
@@ -29,8 +33,10 @@ type sha1State struct {
 	len uint64
 }
 
+var sha1Init = [5]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}
+
 func newSHA1State() *sha1State {
-	return &sha1State{h: [5]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}}
+	return &sha1State{h: sha1Init}
 }
 
 func (d *sha1State) write(p []byte) {

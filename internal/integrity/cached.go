@@ -36,11 +36,17 @@ type Cached struct {
 	// verify checks a chunk's memory image against its stored record.
 	verify func(c uint64, img, stored []byte) bool
 	// record computes the stored record for a chunk's new image on
-	// write-back.
+	// write-back. The result may live in scratch storage that the next
+	// engine operation reuses: callers that hold it across re-entrant
+	// work must copy it first.
 	record func(c uint64, img []byte) []byte
 	// evictFn processes a dirty victim; Incr overrides it with the
 	// constant-work incremental write-back.
 	evictFn func(now uint64, line cache.Line) uint64
+
+	// stFree pools chunkState values across write-backs; a free list
+	// because write-backs nest.
+	stFree []*chunkState
 }
 
 // NewCached builds the c scheme (one block per chunk) or the m scheme
@@ -60,9 +66,9 @@ func NewCached(sys *System) *Cached {
 		e.scheme = "m"
 	}
 	e.verify = func(_ uint64, img, stored []byte) bool {
-		return bytes.Equal(sys.hashChunk(img), stored)
+		return bytes.Equal(sys.hashChunkScratch(img), stored)
 	}
-	e.record = func(_ uint64, img []byte) []byte { return sys.hashChunk(img) }
+	e.record = func(_ uint64, img []byte) []byte { return sys.hashChunkScratch(img) }
 	e.evictFn = e.evictCached
 	return e
 }
@@ -77,14 +83,14 @@ func (e *Cached) System() *System { return e.sys }
 // memory contents and installs the root, entering secure mode.
 func (e *Cached) InitializeTree() {
 	s := e.sys
+	img := make([]byte, s.Layout.ChunkSize)
 	for c := s.Layout.TotalChunks - 1; ; c-- {
-		img := make([]byte, s.Layout.ChunkSize)
 		s.Mem.Read(s.Layout.ChunkAddr(c), img)
 		rec := e.record(c, img)
 		if addr, ok := s.Layout.HashAddr(c); ok {
 			s.Mem.Write(addr, rec)
 		} else {
-			s.Root = append([]byte(nil), rec...)
+			s.Root = append(s.Root[:0], rec...)
 		}
 		if c == 0 {
 			return
@@ -103,6 +109,7 @@ func (e *Cached) ReadBlock(now uint64, addr uint64) uint64 {
 	before := s.Stat.ExtraBlockReads
 	img, ready, _ := e.readAndCheckChunk(now, c, s.L2.BlockAddr(addr))
 	e.fillChunk(ready, c, img)
+	s.putImg(img)
 	s.observePath(s.Stat.ExtraBlockReads - before)
 	return ready
 }
@@ -146,6 +153,9 @@ func (e *Cached) Flush(now uint64) uint64 {
 // demandBA, when not noDemand, is the block address the processor is
 // waiting on: it is issued as its own critical-word-first read and `ready`
 // is its arrival. Otherwise `ready` is when the whole image is available.
+//
+// The returned image comes from the system's scratch pool; the caller must
+// release it with putImg once it is done with it.
 func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img []byte, ready, checkDone uint64) {
 	s := e.sys
 	s.enter()
@@ -157,13 +167,18 @@ func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img [
 	start := now
 
 	// 1. Fetch the chunk's stored record (through the cache; recursive).
+	// The root lives in the secure register and is aliased, not copied;
+	// every other record arrives in a pooled buffer released after the
+	// compare below.
 	var stored []byte
+	storedPooled := false
 	storedReady := start
 	if c == 0 {
 		stored = s.Root
 	} else {
 		slotAddr, _ := s.Layout.HashAddr(c)
 		stored, storedReady = e.readValue(start, slotAddr, s.Layout.HashSize)
+		storedPooled = true
 	}
 
 	// 2. Compose the memory image; no recursion from here to the compare.
@@ -222,6 +237,9 @@ func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img [
 	if s.Trace != nil {
 		s.Trace("verify", c)
 	}
+	if storedPooled {
+		s.putRec(stored)
+	}
 	s.Unit.ReadBuf.Release(idx, checkDone)
 	s.noteCheck(checkDone)
 	return img, ready, checkDone
@@ -233,6 +251,9 @@ func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img [
 // and otherwise fetched, verified and cached recursively. The value is
 // extracted from the freshly cached line *after* the recursion, so nested
 // write-backs that ran meanwhile are reflected.
+//
+// The returned value lives in a pooled record buffer (nil in timing-only
+// mode); the caller releases it with putRec.
 func (e *Cached) readValue(now uint64, addr uint64, size int) ([]byte, uint64) {
 	s := e.sys
 	ba := s.L2.BlockAddr(addr)
@@ -244,17 +265,18 @@ func (e *Cached) readValue(now uint64, addr uint64, size int) ([]byte, uint64) {
 				return nil, now + s.L2Latency
 			}
 			off := addr - ba
-			return append([]byte(nil), ln.Data[off:off+uint64(size)]...), now + s.L2Latency
+			return append(s.getRec(size), ln.Data[off:off+uint64(size)]...), now + s.L2Latency
 		}
 		if data, ok := s.inflightData(ba); ok {
 			if data == nil {
 				return nil, now + s.L2Latency
 			}
 			off := addr - ba
-			return append([]byte(nil), data[off:off+uint64(size)]...), now + s.L2Latency
+			return append(s.getRec(size), data[off:off+uint64(size)]...), now + s.L2Latency
 		}
 		img, ready, _ := e.readAndCheckChunk(now, c, noDemand)
 		e.fillChunk(ready, c, img)
+		s.putImg(img)
 		now = ready
 		if attempt > 4 {
 			panic("integrity: slot block will not stay resident (engine bug)")
@@ -335,31 +357,69 @@ func (e *Cached) fillChunk(at uint64, c uint64, img []byte) {
 }
 
 // chunkState is one write-back's view of its chunk: which blocks are in
-// hand (cached siblings plus the evicted line) and which are dirty.
+// hand (cached siblings plus the evicted line) and which are dirty. It is
+// indexed by chunk-relative block number and pooled per write-back frame:
+// a map here cost one allocation per eviction on the simulator's hottest
+// path.
 type chunkState struct {
-	inHand map[int][]byte
-	dirty  []int
+	data    [][]byte // per-block live bytes; meaningful only where present
+	present []bool
+	dirty   []int
+	count   int // number of blocks present
 }
 
-// collectChunk gathers the live chunk state around an evicted line.
-func (e *Cached) collectChunk(c uint64, evIdx int, evData []byte) chunkState {
+// reset prepares the state for a chunk of k blocks.
+func (st *chunkState) reset(k int) {
+	if cap(st.present) < k {
+		st.data = make([][]byte, k)
+		st.present = make([]bool, k)
+	}
+	st.data = st.data[:k]
+	st.present = st.present[:k]
+	for i := 0; i < k; i++ {
+		st.data[i] = nil
+		st.present[i] = false
+	}
+	st.dirty = st.dirty[:0]
+	st.count = 0
+}
+
+// getState acquires a pooled chunkState; release with putState.
+func (e *Cached) getState() *chunkState {
+	if n := len(e.stFree); n > 0 {
+		st := e.stFree[n-1]
+		e.stFree = e.stFree[:n-1]
+		return st
+	}
+	return &chunkState{}
+}
+
+func (e *Cached) putState(st *chunkState) { e.stFree = append(e.stFree, st) }
+
+// collectChunk gathers the live chunk state around an evicted line into st.
+func (e *Cached) collectChunk(st *chunkState, c uint64, evIdx int, evData []byte) {
 	s := e.sys
 	bs := s.BlockSize()
 	base := s.Layout.ChunkAddr(c)
-	st := chunkState{inHand: map[int][]byte{evIdx: evData}, dirty: []int{evIdx}}
+	st.reset(s.chunkBlocks())
+	st.data[evIdx] = evData
+	st.present[evIdx] = true
+	st.dirty = append(st.dirty, evIdx)
+	st.count = 1
 	for i := 0; i < s.chunkBlocks(); i++ {
 		if i == evIdx {
 			continue
 		}
 		ba := base + uint64(i*bs)
 		if ln := s.L2.Peek(ba); ln != nil {
-			st.inHand[i] = ln.Data
+			st.data[i] = ln.Data
+			st.present[i] = true
+			st.count++
 			if ln.Dirty {
 				st.dirty = append(st.dirty, i)
 			}
 		}
 	}
-	return st
 }
 
 // evictCached is the Write-Back algorithm of §5.3/§5.4: assemble the
@@ -394,10 +454,13 @@ func (e *Cached) evictCached(now uint64, line cache.Line) uint64 {
 
 	// §5.4 step 1: if the chunk is not entirely in hand, fetch and verify
 	// the missing data. (For the c scheme k==1, so this never triggers.)
-	st := e.collectChunk(c, evIdx, line.Data)
+	st := e.getState()
+	defer e.putState(st)
+	e.collectChunk(st, c, evIdx, line.Data)
 	dataReady := start
-	if len(st.inHand) < s.chunkBlocks() {
-		_, ready, _ := e.readAndCheckChunk(start, c, noDemand)
+	if st.count < s.chunkBlocks() {
+		img, ready, _ := e.readAndCheckChunk(start, c, noDemand)
+		s.putImg(img)
 		dataReady = ready
 	}
 
@@ -409,17 +472,24 @@ func (e *Cached) evictCached(now uint64, line cache.Line) uint64 {
 	hdone := s.Unit.Hash(dataReady, s.Layout.ChunkSize)
 	done := hdone
 	var newImg []byte
+	var recBuf []byte
+	if s.Functional {
+		newImg = s.getImg()
+		defer s.putImg(newImg)
+		// rec must survive the re-entrant writeValue below, so it gets its
+		// own pooled buffer rather than the shared digest scratch.
+		recBuf = s.getRec(s.Layout.HashSize)
+	}
 	for attempt := 0; ; attempt++ {
-		st = e.collectChunk(c, evIdx, line.Data)
+		e.collectChunk(st, c, evIdx, line.Data)
 		if s.Functional {
 			// Compose the new image from live state: in-hand blocks carry
 			// the freshest on-chip values; everything else is whatever is
 			// in memory right now (already authenticated by the completion
 			// read above, or written by an interleaved nested write-back).
-			newImg = make([]byte, s.Layout.ChunkSize)
 			for i := 0; i < s.chunkBlocks(); i++ {
-				if d, ok := st.inHand[i]; ok {
-					copy(newImg[i*bs:], d)
+				if st.present[i] {
+					copy(newImg[i*bs:(i+1)*bs], st.data[i])
 				} else {
 					s.Mem.Read(base+uint64(i*bs), newImg[i*bs:(i+1)*bs])
 				}
@@ -427,11 +497,12 @@ func (e *Cached) evictCached(now uint64, line cache.Line) uint64 {
 		}
 		var rec []byte
 		if s.Functional {
-			rec = e.record(c, newImg)
+			recBuf = append(recBuf[:0], e.record(c, newImg)...)
+			rec = recBuf
 		}
 		if c == 0 {
 			if rec != nil {
-				s.Root = append([]byte(nil), rec...)
+				s.Root = append(s.Root[:0], rec...)
 			}
 			break
 		}
@@ -447,6 +518,7 @@ func (e *Cached) evictCached(now uint64, line cache.Line) uint64 {
 			panic("integrity: record update will not converge (engine bug)")
 		}
 	}
+	s.putRec(recBuf)
 
 	// Write the dirty blocks to memory and mark cached copies clean; the
 	// record installed above covers exactly these bytes.

@@ -18,6 +18,12 @@ import (
 type Incr struct {
 	Cached
 	mac *hashalg.XorMAC
+
+	// blocks and recScratch are per-engine scratch reused by splitBlocks
+	// and the record closure. Single buffers are enough: both are consumed
+	// by the caller before any re-entrant engine work runs.
+	blocks     [][]byte
+	recScratch [hashalg.MACSize]byte
 }
 
 // NewIncr builds the incremental engine. The chunk may span at most
@@ -46,9 +52,10 @@ func NewIncr(sys *System, key []byte) *Incr {
 	e.record = func(_ uint64, img []byte) []byte {
 		// Fresh record over a full image. Preserving individual stamps is
 		// unnecessary here: a full-chunk write-back re-stamps every block
-		// at zero, and the stored record and memory change together.
-		tag := e.mac.Compute(e.splitBlocks(img), 0)
-		return tag[:]
+		// at zero, and the stored record and memory change together. The
+		// result lives in engine scratch, per the record contract.
+		e.recScratch = e.mac.Compute(e.splitBlocks(img), 0)
+		return e.recScratch[:]
 	}
 	e.evictFn = e.evictIncr
 	return e
@@ -58,12 +65,15 @@ func NewIncr(sys *System, key []byte) *Incr {
 // to disable timestamps.
 func (e *Incr) MAC() *hashalg.XorMAC { return e.mac }
 
+// splitBlocks slices img into block-sized views in the engine's reusable
+// scratch slice; the result is only valid until the next splitBlocks call.
 func (e *Incr) splitBlocks(img []byte) [][]byte {
 	bs := e.sys.BlockSize()
-	blocks := make([][]byte, 0, len(img)/bs)
+	blocks := e.blocks[:0]
 	for i := 0; i < len(img); i += bs {
 		blocks = append(blocks, img[i:i+bs])
 	}
+	e.blocks = blocks
 	return blocks
 }
 
@@ -118,6 +128,9 @@ func (e *Incr) evictIncr(now uint64, line cache.Line) uint64 {
 		for attempt := 0; ; attempt++ {
 			_, inflight := s.inflightData(ba)
 			resident := s.L2.Peek(ba) != nil || inflight
+			// readValue hands back a pooled buffer; a stale previous
+			// attempt's copy goes back to the pool before refetching.
+			s.putRec(tagBytes)
 			tagBytes, tagReady = e.readValue(start, slotAddr, hashalg.MACSize)
 			if s.Trace != nil {
 				flags := uint64(0)
@@ -135,21 +148,28 @@ func (e *Incr) evictIncr(now uint64, line cache.Line) uint64 {
 		}
 	}
 
-	// 3. Apply the constant-work update with a flipped stamp bit.
+	// 3. Apply the constant-work update with a flipped stamp bit. The old
+	// value lands in a pooled image buffer (chunk-sized; the leading block
+	// is what the update consumes).
 	var newTag [hashalg.MACSize]byte
 	if s.Functional {
 		var tag [hashalg.MACSize]byte
 		copy(tag[:], tagBytes)
-		old := make([]byte, bs)
-		s.Mem.Read(line.Addr, old)
-		newTag = e.mac.Update(tag, blockIdx, old, line.Data)
+		old := s.getImg()
+		s.Mem.Read(line.Addr, old[:bs])
+		newTag = e.mac.Update(tag, blockIdx, old[:bs], line.Data)
+		s.putImg(old)
+	}
+	if c != 0 {
+		// tagBytes is consumed; the Root alias (c == 0) is never pooled.
+		s.putRec(tagBytes)
 	}
 
 	// 4a. Store the new record. The slot block is resident or forwarded,
 	// so this cannot recurse (nothing ran since the final fetch).
 	if c == 0 {
 		if s.Functional {
-			s.Root = append([]byte(nil), newTag[:]...)
+			s.Root = append(s.Root[:0], newTag[:]...)
 		}
 	} else {
 		slotAddr, _ := s.Layout.HashAddr(c)
@@ -198,14 +218,14 @@ func (e *Incr) evictIncr(now uint64, line cache.Line) uint64 {
 // write-backs only ever update records incrementally (§5.7.2, footnote).
 func (e *Incr) InitializeTree() {
 	s := e.sys
+	img := make([]byte, s.Layout.ChunkSize)
 	for c := s.Layout.TotalChunks - 1; ; c-- {
-		img := make([]byte, s.Layout.ChunkSize)
 		s.Mem.Read(s.Layout.ChunkAddr(c), img)
 		rec := e.record(c, img)
 		if addr, ok := s.Layout.HashAddr(c); ok {
 			s.Mem.Write(addr, rec)
 		} else {
-			s.Root = append([]byte(nil), rec...)
+			s.Root = append(s.Root[:0], rec...)
 		}
 		if c == 0 {
 			return

@@ -16,6 +16,12 @@ import (
 // memory reads — the order-of-magnitude slowdown of Figure 3.
 type Naive struct {
 	sys *System
+
+	// anc is the ancestor-image scratch reused across path verifications.
+	// A single slice (not a pool) is enough: the naive engine never
+	// re-enters itself — evictions triggered by its fills run to
+	// completion before the next path walk starts.
+	anc [][]byte
 }
 
 // NewNaive builds the naive engine. The layout's chunk size must equal the
@@ -40,14 +46,14 @@ func (e *Naive) System() *System { return e.sys }
 // InitializeTree computes every stored hash bottom-up from memory.
 func (e *Naive) InitializeTree() {
 	s := e.sys
+	img := make([]byte, s.Layout.ChunkSize)
 	for c := s.Layout.TotalChunks - 1; ; c-- {
-		img := make([]byte, s.Layout.ChunkSize)
 		s.Mem.Read(s.Layout.ChunkAddr(c), img)
-		h := s.hashChunk(img)
+		h := s.hashChunkScratch(img)
 		if addr, ok := s.Layout.HashAddr(c); ok {
 			s.Mem.Write(addr, h)
 		} else {
-			s.Root = append([]byte(nil), h...)
+			s.Root = append(s.Root[:0], h...)
 		}
 		if c == 0 {
 			return
@@ -55,13 +61,14 @@ func (e *Naive) InitializeTree() {
 	}
 }
 
-// readChunkMem reads chunk c's bytes from external memory (functional
-// mode only; timing-only runs return nil).
+// readChunkMem reads chunk c's bytes from external memory into a pooled
+// image buffer the caller releases with putImg (functional mode only;
+// timing-only runs return nil).
 func (e *Naive) readChunkMem(c uint64) []byte {
 	if !e.sys.Functional {
 		return nil
 	}
-	img := make([]byte, e.sys.Layout.ChunkSize)
+	img := e.sys.getImg()
 	e.sys.Mem.Read(e.sys.Layout.ChunkAddr(c), img)
 	return img
 }
@@ -70,9 +77,12 @@ func (e *Naive) readChunkMem(c uint64) []byte {
 // every ancestor, reading each ancestor chunk from memory, up to the
 // secure root. It returns the cycle the final comparison completes and the
 // memory image of c's parent path head (the ancestor chunks read), which
-// Evict reuses to rewrite the path.
+// Evict reuses to rewrite the path. The ancestor slice and its images are
+// scratch storage: the caller must hand the images back via
+// releaseAncestors before the next path walk.
 func (e *Naive) verifyPath(start uint64, c uint64, img []byte, checkFirst bool) (done uint64, ancestors [][]byte) {
 	s := e.sys
+	ancestors = e.anc[:0]
 	// The ancestor addresses are pure layout arithmetic, so all level
 	// reads issue immediately and queue on the bus; each level's hash
 	// starts when its data arrives. Nothing serializes level-to-level —
@@ -89,10 +99,11 @@ func (e *Naive) verifyPath(start uint64, c uint64, img []byte, checkFirst bool) 
 		if cur == 0 {
 			if s.CheckReads && (checkFirst || cur != c) {
 				s.Stat.Checks++
-				if s.Functional && !bytes.Equal(s.hashChunk(curImg), s.Root) {
+				if s.Functional && !bytes.Equal(s.hashChunkScratch(curImg), s.Root) {
 					s.violation(cur, "naive", "root register mismatch")
 				}
 			}
+			e.anc = ancestors
 			return done, ancestors
 		}
 		parent, _, _ := s.Layout.Parent(cur)
@@ -102,7 +113,7 @@ func (e *Naive) verifyPath(start uint64, c uint64, img []byte, checkFirst bool) 
 		ancestors = append(ancestors, parentImg)
 		if s.CheckReads && (checkFirst || cur != c) {
 			s.Stat.Checks++
-			if s.Functional && !bytes.Equal(s.hashChunk(curImg), s.slotBytes(parentImg, cur)) {
+			if s.Functional && !bytes.Equal(s.hashChunkScratch(curImg), s.slotBytes(parentImg, cur)) {
 				s.violation(cur, "naive", "stored hash does not match memory image")
 			}
 		}
@@ -133,16 +144,28 @@ func (e *Naive) ReadBlock(now uint64, addr uint64) uint64 {
 	if bufStart > critical {
 		critical = bufStart
 	}
-	done, _ := e.verifyPath(bufStart, c, img, true)
+	done, anc := e.verifyPath(bufStart, c, img, true)
+	e.releaseAncestors(anc)
 	s.Unit.ReadBuf.Release(idx, done)
 	s.noteCheck(done)
 
 	s.observePath(s.Stat.ExtraBlockReads - before)
 	ba := s.L2.BlockAddr(addr)
-	if ev := s.L2.Fill(ba, cache.Data, img); ev.Valid && ev.Dirty {
+	// Fill copies img before the eviction below can re-enter the engine
+	// and reuse the released buffer.
+	ev := s.L2.Fill(ba, cache.Data, img)
+	s.putImg(img)
+	if ev.Valid && ev.Dirty {
 		e.Evict(critical, ev)
 	}
 	return critical
+}
+
+// releaseAncestors hands the pooled ancestor images back to the system.
+func (e *Naive) releaseAncestors(anc [][]byte) {
+	for _, img := range anc {
+		e.sys.putImg(img)
+	}
 }
 
 // Evict implements Engine: verify the old ancestor path, then write the
@@ -167,6 +190,7 @@ func (e *Naive) Evict(now uint64, line cache.Line) uint64 {
 	_, rdone := s.DRAM.Read(start, s.Layout.ChunkSize, bus.Hash)
 	s.countExtra(uint64(s.Layout.ChunkSize / s.BlockSize()))
 	t, ancestors := e.verifyPath(rdone, c, oldImg, false)
+	s.putImg(oldImg)
 
 	// Write the new block, then rewrite every hash up the path. Writes
 	// are posted (they occupy the bus but nothing waits on them); the
@@ -183,14 +207,18 @@ func (e *Naive) Evict(now uint64, line cache.Line) uint64 {
 	// dropped or substituted write must leave the stored hashes covering
 	// what the processor *meant* to write, so the next read detects it.
 	cur := c
-	var curImg []byte
+	var curImg, lineCopy []byte
 	if s.Functional {
-		curImg = append([]byte(nil), line.Data...)
+		lineCopy = s.getImg()
+		copy(lineCopy, line.Data)
+		curImg = lineCopy
 	}
 	for level := 0; ; level++ {
 		var h []byte
 		if s.Functional {
-			h = s.hashChunk(curImg)
+			// The digest scratch is consumed (copied into the parent image
+			// or the root) before the next iteration recomputes it.
+			h = s.hashChunkScratch(curImg)
 		}
 		hd := s.Unit.Hash(t, s.Layout.ChunkSize)
 		if hd > t {
@@ -198,7 +226,7 @@ func (e *Naive) Evict(now uint64, line cache.Line) uint64 {
 		}
 		if cur == 0 {
 			if h != nil {
-				s.Root = append([]byte(nil), h...)
+				s.Root = append(s.Root[:0], h...)
 			}
 			break
 		}
@@ -215,6 +243,8 @@ func (e *Naive) Evict(now uint64, line cache.Line) uint64 {
 		cur = parent
 		curImg = parentImg
 	}
+	s.putImg(lineCopy)
+	e.releaseAncestors(ancestors)
 	s.Unit.WriteBuf.Release(idx, t)
 	s.noteCheck(t)
 	return t

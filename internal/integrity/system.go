@@ -110,6 +110,60 @@ type System struct {
 	// raise a false violation or lose an update. Values are the live data
 	// slices of the evicted lines (nil in timing-only mode).
 	inflight map[uint64][]byte
+
+	// Scratch storage reused across engine operations so the per-access
+	// hot path allocates nothing in steady state. imgFree and recFree are
+	// free lists, not single buffers, because the engines re-enter: a
+	// buffer acquired by an outer operation must survive the nested
+	// write-backs and verifications that run inside it. memScratch and
+	// digestScratch are single buffers, legal only because their contents
+	// are never held across a re-entrant call.
+	imgFree       [][]byte
+	recFree       [][]byte
+	memScratch    []int
+	digestScratch []byte
+}
+
+// getImg returns a chunk-image scratch buffer of ChunkSize bytes (zeroed
+// is not guaranteed; every user overwrites it fully). Release with putImg.
+func (s *System) getImg() []byte {
+	if n := len(s.imgFree); n > 0 {
+		b := s.imgFree[n-1]
+		s.imgFree = s.imgFree[:n-1]
+		return b
+	}
+	return make([]byte, s.Layout.ChunkSize)
+}
+
+// putImg returns an image buffer to the free list. nil is ignored so
+// timing-only paths can release unconditionally.
+func (s *System) putImg(b []byte) {
+	if b != nil {
+		s.imgFree = append(s.imgFree, b)
+	}
+}
+
+// getRec returns a record-sized scratch buffer with at least n bytes of
+// capacity and zero length. Release with putRec.
+func (s *System) getRec(n int) []byte {
+	if l := len(s.recFree); l > 0 {
+		b := s.recFree[l-1]
+		s.recFree = s.recFree[:l-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	if m := s.Alg.Size(); n < m {
+		n = m
+	}
+	return make([]byte, 0, n)
+}
+
+// putRec returns a record buffer to the free list; nil is ignored.
+func (s *System) putRec(b []byte) {
+	if b != nil {
+		s.recFree = append(s.recFree, b)
+	}
 }
 
 // observePath records the number of integrity block reads one demand
@@ -214,13 +268,19 @@ func (s *System) chunkBlocks() int { return s.Layout.ChunkSize / s.BlockSize() }
 // from external memory, because stored hashes cover memory contents, not
 // dirty cached copies (the invariant of §5.3). It returns the image and
 // the chunk-relative indices of blocks that came from memory.
+//
+// The image comes from the system's scratch pool — the caller must release
+// it with putImg — while memBlocks aliases a single scratch slice that is
+// only valid until the next composeImage call, so it must be consumed
+// before any re-entrant engine work.
 func (s *System) composeImage(c uint64) (img []byte, memBlocks []int) {
 	bs := s.BlockSize()
 	k := s.chunkBlocks()
 	base := s.Layout.ChunkAddr(c)
 	if s.Functional {
-		img = make([]byte, s.Layout.ChunkSize)
+		img = s.getImg()
 	}
+	memBlocks = s.memScratch[:0]
 	for i := 0; i < k; i++ {
 		ba := base + uint64(i*bs)
 		if ln := s.L2.Peek(ba); ln != nil && !ln.Dirty {
@@ -234,12 +294,24 @@ func (s *System) composeImage(c uint64) (img []byte, memBlocks []int) {
 		}
 		memBlocks = append(memBlocks, i)
 	}
+	s.memScratch = memBlocks
 	return img, memBlocks
 }
 
-// hashChunk computes the stored-form hash of a chunk image.
+// hashChunk computes the stored-form hash of a chunk image in a fresh
+// slice the caller owns.
 func (s *System) hashChunk(img []byte) []byte {
 	return hashalg.Truncate(s.Alg.Sum(img), s.Layout.HashSize)
+}
+
+// hashChunkScratch computes the stored-form hash of a chunk image into the
+// system's digest scratch: zero allocations, but the result is only valid
+// until the next hashChunkScratch call, so it must not be held across any
+// re-entrant engine work. Comparison sites use it directly; sites that
+// keep the record across recursion copy it into a pooled buffer first.
+func (s *System) hashChunkScratch(img []byte) []byte {
+	s.digestScratch = s.Alg.AppendSum(s.digestScratch[:0], img)
+	return s.digestScratch[:s.Layout.HashSize]
 }
 
 // slotBytes extracts chunk c's hash slot from its parent's image.

@@ -1,0 +1,67 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile
+// flags into the command-line tools, so the simulator's hot paths can be
+// inspected with `go tool pprof` without ad-hoc instrumentation.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the registered profiling flag values.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag set.
+// Call before flag.Parse.
+func AddFlags() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write an allocation profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when requested and returns a stop function
+// that finalizes both profiles. Defer it in main; error exit paths that
+// bypass the defer simply lose the profile, which is fine — a failed run
+// is not worth profiling.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			}
+		}
+		if *f.mem != "" {
+			mf, err := os.Create(*f.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // flush recently freed objects so live-heap numbers are accurate
+			if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			if err := mf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

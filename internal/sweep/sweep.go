@@ -1,0 +1,166 @@
+// Package sweep runs batches of independent simulations across CPU cores.
+//
+// The figure suite is embarrassingly parallel — every data point is one
+// core.Run over its own machine, trace generator and counters — but its
+// output is order-sensitive: tables, CSV rows and progress lines must come
+// out in the exact order the points were submitted, regardless of which
+// worker finishes first. The pool therefore separates execution from
+// delivery: workers claim jobs from an atomic counter and park results in
+// indexed slots, while the submitting goroutine alone walks the slots in
+// submission order and fires the caller's callback. Serial and parallel
+// runs of the same batch are byte-identical.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"memverify/internal/core"
+)
+
+// Pool executes batches of simulation configurations. The zero value is not
+// usable; construct with New. A Pool carries no per-batch state and may be
+// reused for any number of Run calls, but a single Pool must not run
+// batches from multiple goroutines at once.
+type Pool struct {
+	workers int
+}
+
+// New builds a pool. workers <= 0 selects GOMAXPROCS (all available
+// cores); workers == 1 runs every batch serially on the calling goroutine,
+// which is the reference behaviour the parallel path must reproduce.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the worker count the pool resolved at construction.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes every configuration and returns the metrics in input order.
+// onResult, if non-nil, observes each result in submission order — element
+// i is always delivered before element i+1, from the calling goroutine —
+// so streaming output (tables, CSV, progress ticks) is deterministic.
+//
+// The first configuration error aborts the batch: Run returns that error,
+// onResult is not called for the failed index or any later one, and
+// in-flight jobs are left to finish quietly. Results already delivered
+// stay delivered — exactly the prefix a serial run would have produced.
+func (p *Pool) Run(cfgs []core.Config, onResult func(i int, cfg core.Config, mt core.Metrics)) ([]core.Metrics, error) {
+	out := make([]core.Metrics, len(cfgs))
+	if len(cfgs) == 0 {
+		return out, nil
+	}
+	if p.workers == 1 || len(cfgs) == 1 {
+		for i, cfg := range cfgs {
+			mt, err := core.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = mt
+			if onResult != nil {
+				onResult(i, cfg, mt)
+			}
+		}
+		return out, nil
+	}
+
+	errs := make([]error, len(cfgs))
+	done := make([]bool, len(cfgs))
+	exited := false
+	var (
+		mu   sync.Mutex
+		cond = sync.Cond{L: &mu}
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+
+	nw := p.workers
+	if nw > len(cfgs) {
+		nw = len(cfgs)
+	}
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// stop is checked before claiming, so a claimed slot is
+				// always published — the invariant the consumer's wait
+				// relies on. Jobs are claimed in submission order, so when
+				// a failure at slot j raises stop, every slot before j has
+				// already been claimed and will complete: the consumer
+				// still delivers the exact prefix a serial run would have.
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				mt, err := core.Run(cfgs[i])
+				if err != nil {
+					stop.Store(true)
+				}
+				mu.Lock()
+				out[i], errs[i], done[i] = mt, err, true
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	// Wake the consumer once the last worker leaves, so a wait on a slot
+	// that will never be claimed (abort path) cannot sleep forever.
+	exitWake := make(chan struct{})
+	go func() {
+		wg.Wait()
+		mu.Lock()
+		exited = true
+		cond.Broadcast()
+		mu.Unlock()
+		close(exitWake)
+	}()
+
+	// Deliver results in submission order from this goroutine only. The
+	// callback runs outside the lock so a slow Observer never blocks the
+	// workers' result hand-off.
+	var firstErr error
+	for i := range cfgs {
+		mu.Lock()
+		for !done[i] && !exited {
+			cond.Wait()
+		}
+		finished := done[i]
+		err := errs[i]
+		mu.Unlock()
+		if !finished {
+			break
+		}
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if onResult != nil {
+			onResult(i, cfgs[i], out[i])
+		}
+	}
+	stop.Store(true)
+	<-exitWake
+	if firstErr == nil {
+		// The consumer may have bailed on an unclaimed slot whose cause
+		// was a later-indexed failure recorded by a racing worker.
+		for _, e := range errs {
+			if e != nil {
+				firstErr = e
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"memverify/internal/core"
+	"memverify/internal/trace"
+)
+
+// quickCfg returns a fast timing-only configuration whose metrics vary
+// with the seed, so result misplacement is detectable.
+func quickCfg(scheme core.Scheme, seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Benchmark = trace.Uniform(fmt.Sprintf("sweep-%d", seed), 256<<10)
+	cfg.Benchmark.CodeSet = 16 << 10
+	cfg.Instructions = 5_000
+	cfg.Warmup = 1_000
+	cfg.Seed = seed
+	cfg.L2Size = 64 << 10
+	return cfg
+}
+
+func batch(n int) []core.Config {
+	schemes := []core.Scheme{core.SchemeBase, core.SchemeNaive, core.SchemeCached}
+	cfgs := make([]core.Config, n)
+	for i := range cfgs {
+		cfgs[i] = quickCfg(schemes[i%len(schemes)], uint64(i+1))
+	}
+	return cfgs
+}
+
+// TestParallelMatchesSerial checks metrics and callback order are identical
+// between one worker and many, on a batch larger than the worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfgs := batch(12)
+
+	type event struct {
+		i  int
+		mt core.Metrics
+	}
+	run := func(workers int) ([]core.Metrics, []event) {
+		var evs []event
+		out, err := New(workers).Run(cfgs, func(i int, _ core.Config, mt core.Metrics) {
+			evs = append(evs, event{i, mt})
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out, evs
+	}
+
+	serialOut, serialEvs := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		parOut, parEvs := run(workers)
+		if !reflect.DeepEqual(serialOut, parOut) {
+			t.Errorf("workers=%d: metrics differ from serial run", workers)
+		}
+		if !reflect.DeepEqual(serialEvs, parEvs) {
+			t.Errorf("workers=%d: callback sequence differs from serial run", workers)
+		}
+	}
+	for i, ev := range serialEvs {
+		if ev.i != i {
+			t.Fatalf("callback %d delivered index %d", i, ev.i)
+		}
+	}
+}
+
+// TestWorkerResolution checks the worker-count knob semantics.
+func TestWorkerResolution(t *testing.T) {
+	if got := New(0).Workers(); got < 1 {
+		t.Errorf("New(0).Workers() = %d, want >= 1", got)
+	}
+	if got := New(-3).Workers(); got < 1 {
+		t.Errorf("New(-3).Workers() = %d, want >= 1", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("New(7).Workers() = %d, want 7", got)
+	}
+}
+
+// TestEmptyBatch checks a zero-length batch completes without touching the
+// callback.
+func TestEmptyBatch(t *testing.T) {
+	out, err := New(4).Run(nil, func(int, core.Config, core.Metrics) {
+		t.Error("callback fired on empty batch")
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Run(nil) = %v, %v", out, err)
+	}
+}
+
+// TestErrorAbort checks a failing configuration surfaces its error, that
+// no result at or after the failure is delivered, and that the callback
+// prefix stays in submission order.
+func TestErrorAbort(t *testing.T) {
+	const bad = 5
+	cfgs := batch(10)
+	cfgs[bad].Scheme = "bogus"
+
+	for _, workers := range []int{1, 4} {
+		var delivered []int
+		out, err := New(workers).Run(cfgs, func(i int, _ core.Config, _ core.Metrics) {
+			delivered = append(delivered, i)
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: bad config did not fail", workers)
+		}
+		if out != nil {
+			t.Errorf("workers=%d: got results despite error", workers)
+		}
+		for j, i := range delivered {
+			if i != j {
+				t.Fatalf("workers=%d: delivery order %v", workers, delivered)
+			}
+		}
+		if len(delivered) > bad {
+			t.Errorf("workers=%d: delivered %d results past the failing index %d",
+				workers, len(delivered), bad)
+		}
+		if workers == 1 && len(delivered) != bad {
+			t.Errorf("workers=1: delivered %d results, want the full prefix %d",
+				len(delivered), bad)
+		}
+	}
+}
+
+// TestPoolReuse runs several batches through one pool.
+func TestPoolReuse(t *testing.T) {
+	p := New(4)
+	cfgs := batch(4)
+	first, err := p.Run(cfgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Run(cfgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("pool reuse changed results")
+	}
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Measures the parallel sweep engine: wall-clock of one figure batch with
+# workers=1 (serial reference) vs workers=0 (all cores), written to
+# BENCH_sweep.json. Knobs: N (instructions/point), WARMUP, OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=${N:-40000}
+WARMUP=${WARMUP:-20000}
+OUT=${OUT:-BENCH_sweep.json}
+
+bin=$(mktemp -t memverify-figures.XXXXXX)
+trap 'rm -f "$bin"' EXIT
+go build -o "$bin" ./cmd/figures
+
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
+time_run() {
+  local workers=$1 start end
+  start=$(date +%s%N)
+  "$bin" -fig5 -fig8 -n "$N" -warmup "$WARMUP" -workers "$workers" >/dev/null
+  end=$(date +%s%N)
+  echo $(((end - start) / 1000000))
+}
+
+# Untimed warm-up so binary/page-cache effects don't land on the serial leg.
+time_run 1 >/dev/null
+serial_ms=$(time_run 1)
+parallel_ms=$(time_run 0)
+speedup=$(awk -v s="$serial_ms" -v p="$parallel_ms" 'BEGIN { printf "%.3f", s / p }')
+
+cat >"$OUT" <<EOF
+{
+  "benchmark": "cmd/figures -fig5 -fig8 -n $N -warmup $WARMUP",
+  "cpus": $cores,
+  "serial_ms": $serial_ms,
+  "parallel_ms": $parallel_ms,
+  "speedup": $speedup
+}
+EOF
+echo "wrote $OUT: serial ${serial_ms} ms, parallel ${parallel_ms} ms on $cores cpu(s), speedup ${speedup}x"
