@@ -160,6 +160,45 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFunctionalThroughput measures functional-simulation speed —
+// real data movement plus verification — for each protected scheme under
+// every hash-execution mode. The full/timing ratio is the tentpole
+// speedup recorded in BENCH_hashmode.json; memo sits in between while
+// keeping real digests.
+func BenchmarkFunctionalThroughput(b *testing.B) {
+	for _, s := range []Scheme{SchemeNaive, SchemeCached, SchemeMulti, SchemeIncr} {
+		for _, mode := range []string{"full", "timing", "memo"} {
+			s, mode := s, mode
+			b.Run(string(s)+"/"+mode, func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.Scheme = s
+				cfg.Benchmark = trace.Art
+				// Construction (tree initialization) plus a steady-state
+				// stretch — the same mix every functional sweep point pays.
+				cfg.Instructions = 100_000
+				cfg.Warmup = 0
+				cfg.Functional = true
+				cfg.HashMode = mode
+				cfg.HashAlg = "md5"
+				cfg.ProtectedBytes = 8 << 20
+				if s == SchemeMulti || s == SchemeIncr {
+					cfg.ChunkBlocks = 2
+				}
+				var lastIPC float64
+				b.SetBytes(int64(cfg.Instructions)) // bytes ~ instructions
+				for i := 0; i < b.N; i++ {
+					mt, err := Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lastIPC = mt.IPC
+				}
+				reportIPC(b, string(s), lastIPC)
+			})
+		}
+	}
+}
+
 // BenchmarkGeoMeanOverheads reports the geometric-mean c/base IPC ratio
 // over all nine benchmarks at the default 1 MB configuration — the
 // paper's headline "less than X%" number, as a benchmark metric.

@@ -7,3 +7,15 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Cross-mode equivalence: full, timing-only and memoized digest execution
+# must produce identical metrics and figure output for every scheme.
+go test -run 'HashMode|MemoRig|TimingConstructors|FigureOutputIdentical' \
+  ./internal/integrity/ ./internal/core/ ./internal/figures/
+
+# Timing-only smoke sweep: one figure functionally with digests switched
+# off — the fast path every functional sweep is expected to use. The 1 GiB
+# protected region only validates because timing mode skips the tree.
+go run ./cmd/figures -fig5 -n 20000 -warmup 10000 \
+  -functional -hashmode timing -protected $((1 << 30)) >/dev/null
+echo "timing-only functional sweep OK"

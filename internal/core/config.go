@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"memverify/internal/cpu"
+	"memverify/internal/integrity"
 	"memverify/internal/stats"
 	"memverify/internal/tlb"
 	"memverify/internal/trace"
@@ -79,6 +80,14 @@ type Config struct {
 	// identical either way; see integrity.System.Functional.
 	Functional bool
 
+	// HashMode selects how much real digest arithmetic functional runs
+	// perform: "full" (or empty) computes every digest, "timing" charges
+	// the modeled hash latency but skips the arithmetic (illegal once an
+	// adversary attaches), "memo" computes digests but memoizes them per
+	// chunk under a dirty generation. All three produce identical Metrics;
+	// see integrity.HashMode.
+	HashMode string
+
 	CPU cpu.Config
 }
 
@@ -145,7 +154,14 @@ func (c *Config) Validate() error {
 	if c.ProtectedBytes == 0 && c.Scheme != SchemeBase {
 		return fmt.Errorf("core: nothing to protect")
 	}
-	if c.Functional && c.ProtectedBytes > 256<<20 {
+	mode, err := integrity.ParseHashMode(c.HashMode)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	// Timing-only execution never materializes the tree (initialization is
+	// skipped and records are never compared), so the functional size cap
+	// only binds when digests are real.
+	if c.Functional && mode != integrity.HashTiming && c.ProtectedBytes > 256<<20 {
 		return fmt.Errorf("core: functional mode materializes the tree; protect at most 256 MiB (asked for %d)", c.ProtectedBytes)
 	}
 	if c.Benchmark.WorkingSet+c.Benchmark.CodeSet > c.ProtectedBytes {

@@ -72,6 +72,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode, err := integrity.ParseHashMode(cfg.HashMode)
+	if err != nil {
+		return nil, err
+	}
 	m.Sys = &integrity.System{
 		L2:         m.L2,
 		Mem:        m.backing,
@@ -82,6 +86,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		L2Latency:  cfg.L2Latency,
 		CheckReads: true,
 		Functional: cfg.Functional,
+		Exec:       integrity.NewHashExec(mode),
 	}
 
 	switch cfg.Scheme {
@@ -145,9 +150,13 @@ func (m *Machine) ResetStats() {
 }
 
 // Adversary interposes (once) a physical attacker on the memory bus and
-// returns it. Subsequent calls return the same adversary.
+// returns it. Subsequent calls return the same adversary. Attaching one
+// notifies the hash-execution layer: memo execution falls back to full
+// recomputation, and timing-only execution panics — its checks are
+// vacuous, so it cannot coexist with tampering.
 func (m *Machine) Adversary() *mem.Adversary {
 	if m.adv == nil {
+		m.Sys.Exec.AdversaryAttached()
 		m.adv = mem.NewAdversary(m.backing)
 		m.Sys.Mem = m.adv
 	}

@@ -38,6 +38,16 @@ type Params struct {
 	// alongside the tables. Calls arrive in submission order, serialized
 	// on one goroutine.
 	Observer func(cfg core.Config, mt core.Metrics)
+	// Functional switches every point to functional simulation (real data
+	// movement and verification). Figures are identical either way; the
+	// point of the switch is exercising the hash-execution modes below.
+	Functional bool
+	// HashMode selects the digest-execution mode for functional points:
+	// "" / "full", "timing" or "memo" (see core.Config.HashMode).
+	HashMode string
+	// ProtectedBytes overrides the protected-region size when non-zero.
+	// Functional full/memo runs must stay within the 256 MiB tree cap.
+	ProtectedBytes uint64
 }
 
 // DefaultParams returns a budget that completes the full figure suite in
@@ -68,6 +78,14 @@ func (p *Params) config(pt point) core.Config {
 	cfg.Warmup = p.Warmup
 	cfg.Seed = p.Seed
 	pt.mutate(&cfg)
+	// Applied after mutate so figure-level overrides always win.
+	if p.Functional {
+		cfg.Functional = true
+	}
+	cfg.HashMode = p.HashMode
+	if p.ProtectedBytes != 0 {
+		cfg.ProtectedBytes = p.ProtectedBytes
+	}
 	return cfg
 }
 

@@ -1,0 +1,28 @@
+package hashalg
+
+import "encoding/binary"
+
+// Tag fills dst with the timing-only hash engine's deterministic chunk
+// tag: the stand-in bytes the integrity engines store in place of a real
+// digest when digest execution is switched off (the simulator analogue of
+// SimpleScalar's functional/timing split — the hash unit still charges its
+// full pipeline latency and occupancy, but no digest arithmetic runs).
+//
+// The tag is a splitmix64 stream seeded by the chunk index: O(len(dst))
+// work with two multiplications per 8 bytes, deterministic across runs,
+// and distinct per chunk so stored records remain distinguishable in
+// memory dumps. It has no cryptographic strength whatsoever, which is why
+// timing-only execution is only legal while the adversary layer is inert.
+func Tag(chunk uint64, dst []byte) {
+	x := chunk ^ 0x9e3779b97f4a7c15
+	var word [8]byte
+	for i := 0; i < len(dst); i += 8 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		binary.LittleEndian.PutUint64(word[:], z)
+		copy(dst[i:], word[:])
+	}
+}

@@ -1,0 +1,58 @@
+package hashalg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTagDeterministic(t *testing.T) {
+	a := make([]byte, 20)
+	b := make([]byte, 20)
+	Tag(7, a)
+	Tag(7, b)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Tag(7) not deterministic: %x vs %x", a, b)
+	}
+	if bytes.Equal(a, make([]byte, 20)) {
+		t.Fatal("Tag(7) produced all zeros")
+	}
+}
+
+func TestTagDistinctPerChunk(t *testing.T) {
+	seen := map[string]uint64{}
+	buf := make([]byte, 16)
+	for c := uint64(0); c < 1000; c++ {
+		Tag(c, buf)
+		if prev, dup := seen[string(buf)]; dup {
+			t.Fatalf("chunks %d and %d share tag %x", prev, c, buf)
+		}
+		seen[string(buf)] = c
+	}
+}
+
+func TestTagPrefixStable(t *testing.T) {
+	// A shorter destination receives a prefix of the longer stream, so the
+	// tag for a given chunk is well-defined independent of record length.
+	long := make([]byte, 24)
+	short := make([]byte, 16)
+	Tag(42, long)
+	Tag(42, short)
+	if !bytes.Equal(long[:16], short) {
+		t.Fatalf("16-byte tag %x is not a prefix of 24-byte tag %x", short, long)
+	}
+}
+
+func TestTagOddLength(t *testing.T) {
+	// MACSize and digest sizes are not multiples of 8; the final partial
+	// word must fill the tail without writing past it.
+	buf := make([]byte, 21)
+	buf[20] = 0xAA
+	Tag(3, buf[:20])
+	if buf[20] != 0xAA {
+		t.Fatal("Tag wrote past the destination")
+	}
+	tail := buf[16:20]
+	if bytes.Equal(tail, make([]byte, 4)) {
+		t.Fatalf("tail bytes not filled: %x", buf[:20])
+	}
+}

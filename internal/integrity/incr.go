@@ -58,6 +58,10 @@ func NewIncr(sys *System, key []byte) *Incr {
 		return e.recScratch[:]
 	}
 	e.evictFn = e.evictIncr
+	sys.guardExecMode()
+	if sys.skipDigests() {
+		e.applyTimingMode()
+	}
 	return e
 }
 
@@ -153,12 +157,19 @@ func (e *Incr) evictIncr(now uint64, line cache.Line) uint64 {
 	// is what the update consumes).
 	var newTag [hashalg.MACSize]byte
 	if s.Functional {
-		var tag [hashalg.MACSize]byte
-		copy(tag[:], tagBytes)
-		old := s.getImg()
-		s.Mem.Read(line.Addr, old[:bs])
-		newTag = e.mac.Update(tag, blockIdx, old[:bs], line.Data)
-		s.putImg(old)
+		if s.skipDigests() {
+			// Timing-only execution: the stored record is the chunk's
+			// deterministic tag, so no old value is consumed and no MAC
+			// arithmetic runs (the timing charges above are unchanged).
+			hashalg.Tag(c, newTag[:])
+		} else {
+			var tag [hashalg.MACSize]byte
+			copy(tag[:], tagBytes)
+			old := s.getImg()
+			s.Mem.Read(line.Addr, old[:bs])
+			newTag = e.mac.Update(tag, blockIdx, old[:bs], line.Data)
+			s.putImg(old)
+		}
 	}
 	if c != 0 {
 		// tagBytes is consumed; the Root alias (c == 0) is never pooled.
@@ -199,6 +210,13 @@ func (e *Incr) evictIncr(now uint64, line cache.Line) uint64 {
 	}
 	if s.Functional {
 		s.Mem.Write(line.Addr, line.Data)
+		s.Exec.Bump(c)
+		if !s.skipDigests() {
+			// The stored record tracks the memory image exactly (data and
+			// record change together), so the fresh tag is the chunk's
+			// current record — memoize it at the post-write generation.
+			s.Exec.Install(c, s.Exec.Gen(c), newTag[:])
+		}
 	}
 	if d := s.DRAM.Write(hdone, bs, bclass); d > done {
 		done = d
@@ -218,12 +236,22 @@ func (e *Incr) evictIncr(now uint64, line cache.Line) uint64 {
 // write-backs only ever update records incrementally (§5.7.2, footnote).
 func (e *Incr) InitializeTree() {
 	s := e.sys
+	if s.skipDigests() {
+		// Timing-only execution never compares records, so the whole
+		// bottom-up walk — the dominant construction cost — is skipped.
+		s.Root = append(s.Root[:0], s.timingTag(0)...)
+		return
+	}
 	img := make([]byte, s.Layout.ChunkSize)
 	for c := s.Layout.TotalChunks - 1; ; c-- {
 		s.Mem.Read(s.Layout.ChunkAddr(c), img)
 		rec := e.record(c, img)
+		// Children carry higher indexes, so every slot write into chunk c
+		// has already landed: rec is the record of c's final image.
+		s.Exec.Install(c, s.Exec.Gen(c), rec)
 		if addr, ok := s.Layout.HashAddr(c); ok {
 			s.Mem.Write(addr, rec)
+			s.Exec.Bump(s.Layout.ChunkOf(addr))
 		} else {
 			s.Root = append(s.Root[:0], rec...)
 		}

@@ -34,6 +34,7 @@ func NewNaive(sys *System) *Naive {
 		panic(fmt.Sprintf("integrity: naive engine requires chunk size == block size (%d != %d)",
 			sys.Layout.ChunkSize, sys.BlockSize()))
 	}
+	sys.guardExecMode()
 	return &Naive{sys: sys}
 }
 
@@ -43,15 +44,23 @@ func (e *Naive) Name() string { return "naive" }
 // System implements Engine.
 func (e *Naive) System() *System { return e.sys }
 
-// InitializeTree computes every stored hash bottom-up from memory.
+// InitializeTree computes every stored hash bottom-up from memory. The
+// timing-only unit skips the walk (nothing ever compares the records);
+// memo mode memoizes every hash it computes.
 func (e *Naive) InitializeTree() {
 	s := e.sys
+	if s.skipDigests() {
+		s.Root = append(s.Root[:0], s.timingTag(0)...)
+		return
+	}
 	img := make([]byte, s.Layout.ChunkSize)
 	for c := s.Layout.TotalChunks - 1; ; c-- {
 		s.Mem.Read(s.Layout.ChunkAddr(c), img)
 		h := s.hashChunkScratch(img)
+		s.Exec.Install(c, s.Exec.Gen(c), h)
 		if addr, ok := s.Layout.HashAddr(c); ok {
 			s.Mem.Write(addr, h)
+			s.Exec.Bump(s.Layout.ChunkOf(addr))
 		} else {
 			s.Root = append(s.Root[:0], h...)
 		}
@@ -71,6 +80,31 @@ func (e *Naive) readChunkMem(c uint64) []byte {
 	img := e.sys.getImg()
 	e.sys.Mem.Read(e.sys.Layout.ChunkAddr(c), img)
 	return img
+}
+
+// checkAgainst verifies chunk cur's memory image curImg against the
+// stored record want: served from the memo cache when a digest of exactly
+// this image is still current, recomputed (and memoized) otherwise, and
+// skipped entirely — always passing — under the timing-only unit. The
+// Checks counter advances identically in every mode.
+func (e *Naive) checkAgainst(cur uint64, curImg, want []byte, detail string) {
+	s := e.sys
+	s.Stat.Checks++
+	if !s.verifyData() {
+		return
+	}
+	g := s.Exec.Gen(cur)
+	if memod, ok := s.Exec.Lookup(cur); ok {
+		if !bytes.Equal(memod, want) {
+			s.violation(cur, "naive", detail)
+		}
+		return
+	}
+	if !bytes.Equal(s.hashChunkScratch(curImg), want) {
+		s.violation(cur, "naive", detail)
+		return
+	}
+	s.Exec.Install(cur, g, want)
 }
 
 // verifyPath checks img (the contents of chunk c as read from memory) and
@@ -98,10 +132,7 @@ func (e *Naive) verifyPath(start uint64, c uint64, img []byte, checkFirst bool) 
 		}
 		if cur == 0 {
 			if s.CheckReads && (checkFirst || cur != c) {
-				s.Stat.Checks++
-				if s.Functional && !bytes.Equal(s.hashChunkScratch(curImg), s.Root) {
-					s.violation(cur, "naive", "root register mismatch")
-				}
+				e.checkAgainst(cur, curImg, s.Root, "root register mismatch")
 			}
 			e.anc = ancestors
 			return done, ancestors
@@ -112,10 +143,11 @@ func (e *Naive) verifyPath(start uint64, c uint64, img []byte, checkFirst bool) 
 		s.countExtra(uint64(s.Layout.ChunkSize / s.BlockSize()))
 		ancestors = append(ancestors, parentImg)
 		if s.CheckReads && (checkFirst || cur != c) {
-			s.Stat.Checks++
-			if s.Functional && !bytes.Equal(s.hashChunkScratch(curImg), s.slotBytes(parentImg, cur)) {
-				s.violation(cur, "naive", "stored hash does not match memory image")
+			var want []byte
+			if s.verifyData() {
+				want = s.slotBytes(parentImg, cur)
 			}
+			e.checkAgainst(cur, curImg, want, "stored hash does not match memory image")
 		}
 		if rdone > done {
 			done = rdone
@@ -198,6 +230,7 @@ func (e *Naive) Evict(now uint64, line cache.Line) uint64 {
 	// child's.
 	if s.Functional {
 		s.Mem.Write(line.Addr, line.Data)
+		s.Exec.Bump(c)
 	}
 	s.DRAM.Write(t, s.BlockSize(), bus.Data)
 	s.Stat.DataBlockWrites++
@@ -218,7 +251,15 @@ func (e *Naive) Evict(now uint64, line cache.Line) uint64 {
 		if s.Functional {
 			// The digest scratch is consumed (copied into the parent image
 			// or the root) before the next iteration recomputes it.
-			h = s.hashChunkScratch(curImg)
+			if s.skipDigests() {
+				h = s.timingTag(cur)
+			} else {
+				h = s.hashChunkScratch(curImg)
+				// cur's memory bytes are already final (the data write for
+				// c, the slot rewrite for ancestors), so the digest can be
+				// memoized at the current generation.
+				s.Exec.Install(cur, s.Exec.Gen(cur), h)
+			}
 		}
 		hd := s.Unit.Hash(t, s.Layout.ChunkSize)
 		if hd > t {
@@ -237,6 +278,7 @@ func (e *Naive) Evict(now uint64, line cache.Line) uint64 {
 			off := slotAddr - s.Layout.ChunkAddr(parent)
 			copy(parentImg[off:], h)
 			s.Mem.Write(s.Layout.ChunkAddr(parent), parentImg)
+			s.Exec.Bump(parent)
 		}
 		s.DRAM.Write(t, s.Layout.ChunkSize, bus.Hash)
 		s.Stat.HashBlockWrites += uint64(s.Layout.ChunkSize / s.BlockSize())

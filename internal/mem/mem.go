@@ -42,9 +42,7 @@ func (s *Sparse) Read(addr uint64, p []byte) {
 		if pg, ok := s.pages[pageNum]; ok {
 			copy(p[:n], pg[off:off+n])
 		} else {
-			for i := uint64(0); i < n; i++ {
-				p[i] = 0
-			}
+			clear(p[:n])
 		}
 		p = p[n:]
 		addr += n

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Measures the hash-execution modes via BenchmarkFunctionalThroughput: one
+# functional simulation per protected scheme (naive, c, m, i) in full,
+# timing-only and memoized digest execution, written to
+# BENCH_hashmode.json. All three modes produce identical metrics — only
+# the simulator's own speed differs. Knobs: BENCHTIME (iterations/point),
+# OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-5x}
+OUT=${OUT:-BENCH_hashmode.json}
+
+raw=$(go test -run '^$' -bench BenchmarkFunctionalThroughput -benchtime "$BENCHTIME" .)
+
+# "BenchmarkFunctionalThroughput/c/timing-N   5   12204659 ns/op ..." →
+# "c timing 12204659"
+parsed=$(printf '%s\n' "$raw" | awk '
+  /^BenchmarkFunctionalThroughput\// {
+    split($1, path, "/"); sub(/-[0-9]+$/, "", path[3])
+    print path[2], path[3], $3
+  }')
+
+rows=""
+for scheme in naive c m i; do
+  full_ns=$(printf '%s\n' "$parsed" | awk -v s="$scheme" '$1==s && $2=="full" {print $3}')
+  timing_ns=$(printf '%s\n' "$parsed" | awk -v s="$scheme" '$1==s && $2=="timing" {print $3}')
+  memo_ns=$(printf '%s\n' "$parsed" | awk -v s="$scheme" '$1==s && $2=="memo" {print $3}')
+  timing_x=$(awk -v f="$full_ns" -v t="$timing_ns" 'BEGIN { printf "%.2f", f / t }')
+  memo_x=$(awk -v f="$full_ns" -v m="$memo_ns" 'BEGIN { printf "%.2f", f / m }')
+  echo "$scheme: full ${full_ns} ns/op, timing ${timing_ns} ns/op (${timing_x}x), memo ${memo_ns} ns/op (${memo_x}x)"
+  rows="$rows    {\"scheme\": \"$scheme\", \"full_ns_op\": $full_ns, \"timing_ns_op\": $timing_ns, \"memo_ns_op\": $memo_ns, \"timing_speedup\": $timing_x, \"memo_speedup\": $memo_x},\n"
+done
+rows=$(printf '%b' "$rows" | sed '$ s/,$//')
+
+cat >"$OUT" <<EOF
+{
+  "benchmark": "go test -bench BenchmarkFunctionalThroughput -benchtime $BENCHTIME",
+  "workload": "art, 100k instructions, 8 MiB protected, md5",
+  "modes": ["full", "timing", "memo"],
+  "schemes": [
+$rows
+  ]
+}
+EOF
+echo "wrote $OUT"
