@@ -19,3 +19,24 @@ go test -run 'HashMode|MemoRig|TimingConstructors|FigureOutputIdentical' \
 go run ./cmd/figures -fig5 -n 20000 -warmup 10000 \
   -functional -hashmode timing -protected $((1 << 30)) >/dev/null
 echo "timing-only functional sweep OK"
+
+# Adversary gate: every tree scheme must detect every attack class in the
+# end-to-end tamper demo (the command exits nonzero on a miss).
+go run ./cmd/tamper >/dev/null
+echo "tamper gate OK"
+
+# Seeded chaos mini-campaign: 100 fault injections (25 per tree scheme)
+# must all be detected with zero false positives on the paired clean runs.
+# Identical seeds produce byte-identical reports, so this doubles as a
+# determinism regression. The same campaign machinery also runs under the
+# race detector as part of `go test -race ./...` above (TestCampaignCI);
+# the full thousand-injection acceptance campaign runs race-free here.
+go run ./cmd/chaos -n 25 -seed 7 >/dev/null
+go test -run 'TestCampaignAcceptance|TestCampaignDeterministic' ./internal/chaos/
+echo "chaos campaign gate OK"
+
+# Fuzz smoke: drive the functional machine through interleaved accesses
+# and adversary mutations for a few seconds looking for panics or missed
+# post-eviction corruption.
+go test -fuzz FuzzMachineTamper -fuzztime 10s ./internal/mem/ >/dev/null
+echo "machine fuzz smoke OK"

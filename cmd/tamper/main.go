@@ -36,14 +36,6 @@ func machine(scheme core.Scheme) (*core.Machine, error) {
 	return core.NewMachine(cfg)
 }
 
-// evictAll forces all cached state back to (attackable) memory.
-func evictAll(m *core.Machine) {
-	m.Flush()
-	for ba := uint64(0); ba < m.Layout.Size(); ba += uint64(m.Cfg.L2Block) {
-		m.L2.Invalidate(ba)
-	}
-}
-
 type attack struct {
 	name string
 	run  func(m *core.Machine) error // returns the detection error, nil if undetected
@@ -54,7 +46,7 @@ var attacks = []attack{
 		if err := m.StoreBytes(0, bytes.Repeat([]byte{0x11}, 64)); err != nil {
 			return err
 		}
-		evictAll(m)
+		m.EvictProtected()
 		m.Adversary().Corrupt(m.ProgAddr(5), 0x80)
 		return m.LoadBytes(0, make([]byte, 64))
 	}},
@@ -62,7 +54,7 @@ var attacks = []attack{
 		if err := m.StoreBytes(64, bytes.Repeat([]byte{0x22}, 64)); err != nil {
 			return err
 		}
-		evictAll(m)
+		m.EvictProtected()
 		slot, ok := m.Layout.HashAddr(m.Layout.ChunkOf(m.ProgAddr(64)))
 		if !ok {
 			return fmt.Errorf("no stored hash for chunk")
@@ -74,12 +66,12 @@ var attacks = []attack{
 		if err := m.StoreBytes(128, bytes.Repeat([]byte{0x01}, 64)); err != nil {
 			return err
 		}
-		evictAll(m)
+		m.EvictProtected()
 		snap := m.Adversary().Snapshot(0, m.Layout.Size())
 		if err := m.StoreBytes(128, bytes.Repeat([]byte{0x02}, 64)); err != nil {
 			return err
 		}
-		evictAll(m)
+		m.EvictProtected()
 		m.Adversary().Replay(snap)
 		defer m.Adversary().StopReplay(snap)
 		return m.LoadBytes(128, make([]byte, 64))
@@ -91,7 +83,7 @@ var attacks = []attack{
 		if err := m.StoreBytes(512, bytes.Repeat([]byte{0xBB}, 64)); err != nil {
 			return err
 		}
-		evictAll(m)
+		m.EvictProtected()
 		m.Adversary().Splice(m.ProgAddr(256), m.ProgAddr(512), 64)
 		return m.LoadBytes(256, make([]byte, 64))
 	}},
@@ -103,7 +95,7 @@ var attacks = []attack{
 		if err := m.StoreBytes(1024, bytes.Repeat([]byte{0x5C}, 64)); err != nil {
 			return err
 		}
-		evictAll(m)
+		m.EvictProtected()
 		return m.LoadBytes(1024, make([]byte, 64))
 	}},
 }

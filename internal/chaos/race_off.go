@@ -1,0 +1,6 @@
+//go:build !race
+
+package chaos
+
+// raceEnabled reports whether the race detector is active; see race_on.go.
+const raceEnabled = false

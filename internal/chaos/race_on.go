@@ -1,0 +1,7 @@
+//go:build race
+
+package chaos
+
+// raceEnabled lets tests skip thousand-injection campaigns under the race
+// detector, where they would dominate CI time without adding coverage.
+const raceEnabled = true

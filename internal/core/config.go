@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"memverify/internal/cpu"
+	"memverify/internal/hashalg"
 	"memverify/internal/integrity"
 	"memverify/internal/stats"
 	"memverify/internal/tlb"
@@ -88,6 +89,14 @@ type Config struct {
 	// see integrity.HashMode.
 	HashMode string
 
+	// ViolationPolicy selects the containment behaviour after a detected
+	// integrity violation: "record" (or empty) counts and continues,
+	// "halt" makes every subsequent LoadBytes/StoreBytes return ErrHalted
+	// (the §5.8 security exception), "retry" re-fetches a failing chunk
+	// once to distinguish transient bus/DRAM faults from persistent
+	// tampering. See integrity.ViolationPolicy.
+	ViolationPolicy string
+
 	CPU cpu.Config
 }
 
@@ -132,12 +141,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration for consistency.
+// Validate checks the configuration for consistency. Every misconfiguration
+// reachable from Config — including geometry the engine and substrate
+// constructors would otherwise panic on — is returned as a descriptive
+// error, so NewMachine never panics on user input; panics below this layer
+// flag genuine engine-invariant bugs only.
 func (c *Config) Validate() error {
 	switch c.Scheme {
 	case SchemeBase, SchemeNaive, SchemeCached, SchemeMulti, SchemeIncr:
 	default:
 		return fmt.Errorf("core: unknown scheme %q", c.Scheme)
+	}
+	if c.ChunkBlocks < 1 {
+		return fmt.Errorf("core: ChunkBlocks must be >= 1, got %d", c.ChunkBlocks)
 	}
 	if c.Scheme == SchemeCached && c.ChunkBlocks != 1 {
 		return fmt.Errorf("core: scheme c requires ChunkBlocks == 1, got %d", c.ChunkBlocks)
@@ -148,11 +164,64 @@ func (c *Config) Validate() error {
 	if c.Scheme == SchemeNaive && c.ChunkBlocks != 1 {
 		return fmt.Errorf("core: the naive scheme is defined for ChunkBlocks == 1, got %d", c.ChunkBlocks)
 	}
+	if c.Scheme == SchemeIncr {
+		if c.HashSize != hashalg.MACSize {
+			return fmt.Errorf("core: scheme i stores %d-byte MAC records, got HashSize %d", hashalg.MACSize, c.HashSize)
+		}
+		if c.ChunkBlocks > hashalg.MaxMACBlocks {
+			return fmt.Errorf("core: scheme i chunks span at most %d blocks (one stamp bit each), got %d",
+				hashalg.MaxMACBlocks, c.ChunkBlocks)
+		}
+	}
+	if err := validateCacheGeometry("L1", c.L1Size, c.L1Ways, c.L1Block); err != nil {
+		return err
+	}
+	if err := validateCacheGeometry("L2", c.L2Size, c.L2Ways, c.L2Block); err != nil {
+		return err
+	}
+	if c.HashSize <= 0 {
+		return fmt.Errorf("core: HashSize must be positive, got %d", c.HashSize)
+	}
+	if chunk := c.L2Block * c.ChunkBlocks; c.Scheme != SchemeBase && chunk%c.HashSize != 0 {
+		return fmt.Errorf("core: chunk size %d not a multiple of HashSize %d", chunk, c.HashSize)
+	}
+	if chunk := c.L2Block * c.ChunkBlocks; c.Scheme != SchemeBase && chunk/c.HashSize < 2 {
+		return fmt.Errorf("core: tree arity %d < 2 (chunk %dB, hash %dB)", chunk/c.HashSize, chunk, c.HashSize)
+	}
+	if c.HashBuffers < 1 {
+		return fmt.Errorf("core: HashBuffers must be >= 1, got %d", c.HashBuffers)
+	}
+	if c.HashBytesPerCycle <= 0 {
+		return fmt.Errorf("core: HashBytesPerCycle must be positive, got %g", c.HashBytesPerCycle)
+	}
+	if _, err := hashalg.New(c.HashAlg); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.BusBeatBytes <= 0 || c.BusCyclesPerBeat == 0 {
+		return fmt.Errorf("core: bus beat geometry must be positive (got %dB / %d cycles)",
+			c.BusBeatBytes, c.BusCyclesPerBeat)
+	}
+	t := c.TLB
+	if t.Entries <= 0 || t.Ways <= 0 || t.Entries%t.Ways != 0 {
+		return fmt.Errorf("core: TLB entries %d must be a positive multiple of ways %d", t.Entries, t.Ways)
+	}
+	if nsets := t.Entries / t.Ways; nsets&(nsets-1) != 0 {
+		return fmt.Errorf("core: TLB set count %d not a power of two", t.Entries/t.Ways)
+	}
+	if t.PageSize == 0 || t.PageSize&(t.PageSize-1) != 0 {
+		return fmt.Errorf("core: TLB page size %d not a positive power of two", t.PageSize)
+	}
+	if c.CPU.FetchWidth <= 0 || c.CPU.CommitWidth <= 0 || c.CPU.RUUSize <= 0 || c.CPU.LSQSize <= 0 {
+		return fmt.Errorf("core: CPU widths and window sizes must be positive")
+	}
 	if c.Instructions == 0 {
 		return fmt.Errorf("core: zero instruction budget")
 	}
 	if c.ProtectedBytes == 0 && c.Scheme != SchemeBase {
 		return fmt.Errorf("core: nothing to protect")
+	}
+	if _, err := integrity.ParseViolationPolicy(c.ViolationPolicy); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	mode, err := integrity.ParseHashMode(c.HashMode)
 	if err != nil {
@@ -167,6 +236,24 @@ func (c *Config) Validate() error {
 	if c.Benchmark.WorkingSet+c.Benchmark.CodeSet > c.ProtectedBytes {
 		return fmt.Errorf("core: benchmark footprint %d exceeds protected region %d",
 			c.Benchmark.WorkingSet+c.Benchmark.CodeSet, c.ProtectedBytes)
+	}
+	return nil
+}
+
+// validateCacheGeometry pre-checks what cache.New would panic on.
+func validateCacheGeometry(name string, size, ways, block int) error {
+	if block <= 0 || block&(block-1) != 0 {
+		return fmt.Errorf("core: %s block size %d not a positive power of two", name, block)
+	}
+	if ways <= 0 {
+		return fmt.Errorf("core: %s ways must be positive, got %d", name, ways)
+	}
+	if size <= 0 || size%(ways*block) != 0 {
+		return fmt.Errorf("core: %s size %d not a positive multiple of ways*block (%d)", name, size, ways*block)
+	}
+	nsets := size / (ways * block)
+	if nsets&(nsets-1) != 0 {
+		return fmt.Errorf("core: %s set count %d not a power of two", name, nsets)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"memverify/internal/bus"
@@ -34,6 +35,11 @@ type Machine struct {
 	backing *mem.Sparse
 	adv     *mem.Adversary
 
+	policy    integrity.ViolationPolicy
+	halted    bool
+	haltCause *integrity.ViolationError
+	observer  func(*integrity.ViolationError)
+
 	codeBase uint64
 	codeSize uint64
 	dataBase uint64
@@ -41,6 +47,12 @@ type Machine struct {
 	storeSeq uint64
 	now      uint64 // advancing store-stamp clock for direct accesses
 }
+
+// ErrHalted is returned by LoadBytes and StoreBytes once a machine running
+// under ViolationPolicy "halt" has detected an integrity violation — the
+// machine-level security exception of §5.8. Use errors.Is to test for it;
+// the wrapped message carries the first violation.
+var ErrHalted = errors.New("core: machine halted by integrity violation")
 
 // NewMachine assembles a machine from cfg.
 func NewMachine(cfg Config) (*Machine, error) {
@@ -76,17 +88,24 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	policy, err := integrity.ParseViolationPolicy(cfg.ViolationPolicy)
+	if err != nil {
+		return nil, err
+	}
+	m.policy = policy
 	m.Sys = &integrity.System{
-		L2:         m.L2,
-		Mem:        m.backing,
-		DRAM:       m.DRAM,
-		Unit:       integrity.NewHashUnit(cfg.HashLatency, cfg.HashBytesPerCycle, cfg.HashBuffers, cfg.HashBuffers),
-		Layout:     layout,
-		Alg:        alg,
-		L2Latency:  cfg.L2Latency,
-		CheckReads: true,
-		Functional: cfg.Functional,
-		Exec:       integrity.NewHashExec(mode),
+		L2:          m.L2,
+		Mem:         m.backing,
+		DRAM:        m.DRAM,
+		Unit:        integrity.NewHashUnit(cfg.HashLatency, cfg.HashBytesPerCycle, cfg.HashBuffers, cfg.HashBuffers),
+		Layout:      layout,
+		Alg:         alg,
+		L2Latency:   cfg.L2Latency,
+		CheckReads:  true,
+		Functional:  cfg.Functional,
+		Exec:        integrity.NewHashExec(mode),
+		Policy:      policy,
+		OnViolation: m.noteViolation,
 	}
 
 	switch cfg.Scheme {
@@ -149,6 +168,55 @@ func (m *Machine) ResetStats() {
 	m.Sys.ResetStats()
 }
 
+// noteViolation is the machine's OnViolation hook: it applies the halt
+// policy and relays the event to any registered observer. Detection is
+// already recorded in Sys.Stat by the time it runs.
+func (m *Machine) noteViolation(v *integrity.ViolationError) {
+	if m.policy == integrity.PolicyHalt {
+		m.halted = true
+		if m.haltCause == nil {
+			m.haltCause = v
+		}
+	}
+	if m.observer != nil {
+		m.observer(v)
+	}
+}
+
+// ObserveViolations registers f to be called on every detected violation,
+// in addition to the machine's own policy handling. Passing nil removes
+// the observer.
+func (m *Machine) ObserveViolations(f func(*integrity.ViolationError)) {
+	m.observer = f
+}
+
+// Halted reports whether the halt policy has fired; HaltCause returns the
+// violation that tripped it (nil while running).
+func (m *Machine) Halted() bool { return m.halted }
+
+// HaltCause returns the first violation that halted the machine.
+func (m *Machine) HaltCause() *integrity.ViolationError { return m.haltCause }
+
+// Now returns the machine's advancing cycle clock for direct functional
+// accesses — the timestamp StoreBytes/LoadBytes/Flush operate at. Chaos
+// campaigns read it to measure detection latency in cycles.
+func (m *Machine) Now() uint64 { return m.now }
+
+// ProgSpan returns the size in bytes of the program data region ProgAddr
+// maps offsets into.
+func (m *Machine) ProgSpan() uint64 { return m.dataSize }
+
+// EvictProtected drains all dirty cached state and then invalidates every
+// protected line, so the next access to any protected address must go to
+// (attackable) external memory — the post-eviction starting point of the
+// paper's attack analysis.
+func (m *Machine) EvictProtected() {
+	m.Flush()
+	for ba := uint64(0); ba < m.Layout.Size(); ba += uint64(m.Cfg.L2Block) {
+		m.L2.Invalidate(ba)
+	}
+}
+
 // Adversary interposes (once) a physical attacker on the memory bus and
 // returns it. Subsequent calls return the same adversary. Attaching one
 // notifies the hash-execution layer: memo execution falls back to full
@@ -190,6 +258,9 @@ func (m *Machine) StoreBytes(off uint64, p []byte) error {
 	if !m.Cfg.Functional {
 		return fmt.Errorf("core: StoreBytes requires a functional machine")
 	}
+	if m.halted {
+		return fmt.Errorf("%w (%v)", ErrHalted, m.haltCause)
+	}
 	h := (*hierarchy)(m)
 	bs := uint64(m.Cfg.L2Block)
 	for len(p) > 0 {
@@ -221,6 +292,9 @@ func (m *Machine) StoreBytes(off uint64, p []byte) error {
 func (m *Machine) LoadBytes(off uint64, p []byte) error {
 	if !m.Cfg.Functional {
 		return fmt.Errorf("core: LoadBytes requires a functional machine")
+	}
+	if m.halted {
+		return fmt.Errorf("%w (%v)", ErrHalted, m.haltCause)
 	}
 	h := (*hierarchy)(m)
 	before := m.Sys.Stat.Violations

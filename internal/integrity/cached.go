@@ -260,14 +260,40 @@ func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img [
 			// A memoized digest of the chunk's current memory image stands
 			// in for rehashing it; a successful full verification installs
 			// the stored record so the next clean access skips the hash.
+			failed := false
 			if memod, ok := s.Exec.Lookup(c); ok {
-				if !bytes.Equal(memod, stored) {
-					s.violation(c, e.scheme, "stored record does not match memory image")
-				}
+				failed = !bytes.Equal(memod, stored)
 			} else if !e.verify(c, img, stored) {
-				s.violation(c, e.scheme, "stored record does not match memory image")
+				failed = true
 			} else {
 				s.Exec.Install(c, imgGen, stored)
+			}
+			if failed {
+				detail := "stored record does not match memory image"
+				if s.Policy == PolicyRetry {
+					passed, rdone := s.retryVerify(checkDone, c, true, func(probe []byte) bool {
+						ok := e.verify(c, probe, stored)
+						if ok {
+							// The re-fetch verified clean, so the first
+							// transfer was the faulty one: deliver (and
+							// later cache) the clean bytes, as re-issued
+							// hardware would.
+							copy(img, probe)
+						}
+						return ok
+					})
+					if rdone > checkDone {
+						checkDone = rdone
+					}
+					if passed {
+						failed = false // transient fault; the re-read is clean
+					} else {
+						detail = "stored record does not match memory image (persistent after re-fetch)"
+					}
+				}
+				if failed {
+					s.violation(c, e.scheme, detail)
+				}
 			}
 		}
 	}

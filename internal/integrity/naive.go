@@ -86,25 +86,45 @@ func (e *Naive) readChunkMem(c uint64) []byte {
 // stored record want: served from the memo cache when a digest of exactly
 // this image is still current, recomputed (and memoized) otherwise, and
 // skipped entirely — always passing — under the timing-only unit. The
-// Checks counter advances identically in every mode.
-func (e *Naive) checkAgainst(cur uint64, curImg, want []byte, detail string) {
+// Checks counter advances identically in every mode. at is the cycle the
+// compared bytes are in hand; the return value is when the check —
+// including any PolicyRetry re-fetch probe — completes.
+func (e *Naive) checkAgainst(at uint64, cur uint64, curImg, want []byte, detail string) uint64 {
 	s := e.sys
 	s.Stat.Checks++
 	if !s.verifyData() {
-		return
+		return at
 	}
-	g := s.Exec.Gen(cur)
+	failed := false
 	if memod, ok := s.Exec.Lookup(cur); ok {
-		if !bytes.Equal(memod, want) {
-			s.violation(cur, "naive", detail)
+		failed = !bytes.Equal(memod, want)
+	} else if !bytes.Equal(s.hashChunkScratch(curImg), want) {
+		failed = true
+	} else {
+		s.Exec.Install(cur, s.Exec.Gen(cur), want)
+	}
+	if failed {
+		if s.Policy == PolicyRetry {
+			passed, rdone := s.retryVerify(at, cur, false, func(probe []byte) bool {
+				ok := bytes.Equal(s.hashChunkScratch(probe), want)
+				if ok && curImg != nil {
+					// Transient fault on the first transfer: replace the
+					// delivered image with the clean re-read.
+					copy(curImg, probe)
+				}
+				return ok
+			})
+			if rdone > at {
+				at = rdone
+			}
+			if passed {
+				return at // transient fault; the re-read is clean
+			}
+			detail += " (persistent after re-fetch)"
 		}
-		return
-	}
-	if !bytes.Equal(s.hashChunkScratch(curImg), want) {
 		s.violation(cur, "naive", detail)
-		return
 	}
-	s.Exec.Install(cur, g, want)
+	return at
 }
 
 // verifyPath checks img (the contents of chunk c as read from memory) and
@@ -132,7 +152,9 @@ func (e *Naive) verifyPath(start uint64, c uint64, img []byte, checkFirst bool) 
 		}
 		if cur == 0 {
 			if s.CheckReads && (checkFirst || cur != c) {
-				e.checkAgainst(cur, curImg, s.Root, "root register mismatch")
+				if d := e.checkAgainst(done, cur, curImg, s.Root, "root register mismatch"); d > done {
+					done = d
+				}
 			}
 			e.anc = ancestors
 			return done, ancestors
@@ -147,7 +169,9 @@ func (e *Naive) verifyPath(start uint64, c uint64, img []byte, checkFirst bool) 
 			if s.verifyData() {
 				want = s.slotBytes(parentImg, cur)
 			}
-			e.checkAgainst(cur, curImg, want, "stored hash does not match memory image")
+			if d := e.checkAgainst(rdone, cur, curImg, want, "stored hash does not match memory image"); d > done {
+				done = d
+			}
 		}
 		if rdone > done {
 			done = rdone

@@ -12,19 +12,38 @@ package mem
 //     (address permutation attacks).
 //   - DropWrites: silently discard the processor's writes to a region
 //     ("only the first write to an address is ever actually performed").
+//   - CorruptBurst: flip stored bits across a multi-byte run in one shot.
+//   - Glitch: transient fault — a bounded number of reads observe
+//     corrupted bytes while stored memory stays clean (what PolicyRetry
+//     distinguishes from persistent tampering).
+//   - Schedule: defer any of the above until a chosen number of bus
+//     transactions from now, for attacks timed against live traffic.
 //
 // All mutations affect what readers observe; the integrity machinery is
-// expected to detect every one of them on protected regions.
+// expected to detect every persistent one on protected regions.
 type Adversary struct {
 	inner Memory
 
-	replays []replayRegion
-	splices []spliceRegion
-	drops   []region
+	replays   []replayRegion
+	splices   []spliceRegion
+	drops     []region
+	glitches  []glitchRegion
+	schedules []schedule
+
+	// OnRead and OnWrite, if non-nil, observe every memory transaction the
+	// processor/engine side issues, before any mutation is applied. The
+	// adversary's own mutators bypass them (they act on the underlying
+	// storage directly), so observers see exactly the bus traffic a probe
+	// on the memory interface would. Chaos campaigns use them to tell
+	// whether tampered bytes were ever actually consumed or overwritten.
+	OnRead  func(addr uint64, n int)
+	OnWrite func(addr uint64, n int)
 
 	// Reads and Writes count the traffic the adversary has observed, a
 	// convenience for tests asserting that attacks happened where expected.
 	Reads, Writes uint64
+
+	events uint64 // read+write transactions observed, for Schedule
 }
 
 type region struct{ addr, size uint64 }
@@ -40,6 +59,24 @@ type replayRegion struct {
 type spliceRegion struct {
 	region
 	src uint64
+}
+
+// glitchRegion models a transient bus/DRAM fault: reads overlapping the
+// region observe the stored bytes XORed with mask, but the stored bytes
+// themselves are untouched, so a re-fetch of the same address sees clean
+// data again. remaining counts how many more overlapping Read transactions
+// the glitch affects before it evaporates.
+type glitchRegion struct {
+	region
+	mask      byte
+	remaining int
+}
+
+// schedule is a deferred attack: fire f once after `after` more memory
+// transactions (reads or writes) have been observed.
+type schedule struct {
+	at uint64
+	f  func()
 }
 
 // NewAdversary wraps inner. With no mutations configured it is a
@@ -84,12 +121,77 @@ func (a *Adversary) DropWrites(addr, size uint64) {
 	a.drops = append(a.drops, region{addr, size})
 }
 
+// CorruptBurst XORs a run of stored bytes starting at addr with mask,
+// directly in the underlying storage. Zero mask bytes leave the
+// corresponding stored byte alone, so sparse multi-bit patterns within the
+// burst are expressible.
+func (a *Adversary) CorruptBurst(addr uint64, mask []byte) {
+	buf := make([]byte, len(mask))
+	a.inner.Read(addr, buf)
+	for i, m := range mask {
+		buf[i] ^= m
+	}
+	a.inner.Write(addr, buf)
+}
+
+// Glitch arms a transient fault over [addr, addr+size): the next `reads`
+// Read transactions that overlap the region observe its bytes XORed with
+// mask, after which the fault evaporates. Stored memory is never modified,
+// so a retry/re-fetch sees clean data — the signature PolicyRetry exists
+// to distinguish from persistent tampering.
+func (a *Adversary) Glitch(addr, size uint64, mask byte, reads int) {
+	a.glitches = append(a.glitches, glitchRegion{region: region{addr, size}, mask: mask, remaining: reads})
+}
+
+// Schedule defers f until `after` more memory transactions (reads or
+// writes, counted together) have been observed, then fires it exactly once
+// — before the triggering transaction's data is served, so f can tamper
+// with the very bytes that transaction returns. after == 0 fires on the
+// next transaction.
+func (a *Adversary) Schedule(after uint64, f func()) {
+	a.schedules = append(a.schedules, schedule{at: a.events + after, f: f})
+}
+
+// Reset discards all armed mutations — replays, splices, drops, glitches,
+// and pending schedules — returning the adversary to a transparent
+// pass-through. Traffic counters and observer hooks are untouched.
+func (a *Adversary) Reset() {
+	a.replays = a.replays[:0]
+	a.splices = a.splices[:0]
+	a.drops = a.drops[:0]
+	a.glitches = a.glitches[:0]
+	a.schedules = a.schedules[:0]
+}
+
+// step counts one transaction and fires any schedules that have come due.
+// Firing happens before the caller touches storage, so a scheduled attack
+// can tamper with the bytes the triggering transaction itself observes.
+func (a *Adversary) step() {
+	a.events++
+	if len(a.schedules) == 0 {
+		return
+	}
+	kept := a.schedules[:0]
+	for _, sc := range a.schedules {
+		if a.events > sc.at {
+			sc.f()
+		} else {
+			kept = append(kept, sc)
+		}
+	}
+	a.schedules = kept
+}
+
 // Read implements Memory, applying active replays and splices byte-wise so
 // that attacks spanning partial blocks behave like real bus substitution.
 func (a *Adversary) Read(addr uint64, p []byte) {
 	a.Reads += uint64(len(p))
+	a.step()
+	if a.OnRead != nil {
+		a.OnRead(addr, len(p))
+	}
 	a.inner.Read(addr, p)
-	if len(a.replays) == 0 && len(a.splices) == 0 {
+	if len(a.replays) == 0 && len(a.splices) == 0 && len(a.glitches) == 0 {
 		return
 	}
 	for i := range p {
@@ -106,12 +208,30 @@ func (a *Adversary) Read(addr uint64, p []byte) {
 				p[i] = rp.data[ai-rp.addr]
 			}
 		}
+		for gi := range a.glitches {
+			g := &a.glitches[gi]
+			if g.remaining > 0 && g.contains(ai) {
+				p[i] ^= g.mask
+			}
+		}
+	}
+	// A glitch decays once per overlapping Read transaction, not per byte:
+	// one bus transfer observes one transient fault.
+	for gi := range a.glitches {
+		g := &a.glitches[gi]
+		if g.remaining > 0 && addr < g.addr+g.size && addr+uint64(len(p)) > g.addr {
+			g.remaining--
+		}
 	}
 }
 
 // Write implements Memory, discarding bytes that land in drop regions.
 func (a *Adversary) Write(addr uint64, p []byte) {
 	a.Writes += uint64(len(p))
+	a.step()
+	if a.OnWrite != nil {
+		a.OnWrite(addr, len(p))
+	}
 	if len(a.drops) == 0 {
 		a.inner.Write(addr, p)
 		return

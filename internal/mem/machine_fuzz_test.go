@@ -1,0 +1,139 @@
+package mem_test
+
+// This file fuzzes the full functional machine — caches, engine, adversary
+// — rather than the mem package alone. It lives in the external test
+// package because core imports mem; the fuzz target exercises the
+// Adversary through the same interposition path the chaos campaigns use.
+
+import (
+	"testing"
+
+	"memverify/internal/core"
+	"memverify/internal/trace"
+)
+
+// fuzzMachine builds a tiny functional machine for the fuzzer.
+func fuzzMachine(scheme core.Scheme) (*core.Machine, error) {
+	cfg := core.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Functional = true
+	cfg.HashAlg = "fnv128"
+	cfg.ProtectedBytes = 16 << 10
+	cfg.L2Size = 2 << 10
+	cfg.Benchmark = trace.Uniform("fuzz", 4<<10)
+	cfg.Benchmark.CodeSet = 1 << 10
+	if scheme == core.SchemeMulti || scheme == core.SchemeIncr {
+		cfg.ChunkBlocks = 2
+	}
+	return core.NewMachine(cfg)
+}
+
+var fuzzSchemes = []core.Scheme{core.SchemeNaive, core.SchemeCached, core.SchemeMulti, core.SchemeIncr}
+
+// FuzzMachineTamper drives a small functional machine through interleaved
+// program accesses, cache flushes, and adversary corruption decoded from
+// the fuzz input. Invariants: the machine never panics, clean accesses
+// before any tampering never flag a violation, and once any post-eviction
+// corruption leaves memory differing from what the tree covers, the run —
+// including a final sweep through every corrupted chunk — detects it.
+func FuzzMachineTamper(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x41, 0x05, 0x83, 0x00, 0x00, 0x10})
+	f.Add([]byte{0x01, 0x22, 0x02, 0x00, 0x84, 0x7F, 0x00, 0x22})
+	f.Add([]byte{0x03, 0x01, 0x05, 0xFF, 0x00, 0x01, 0x01, 0x02, 0x04, 0x33})
+	f.Add([]byte{0x85, 0x11, 0x85, 0x11, 0x00, 0x11})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		scheme := fuzzSchemes[int(data[0])%len(fuzzSchemes)]
+		m, err := fuzzMachine(scheme)
+		if err != nil {
+			t.Fatalf("machine: %v", err)
+		}
+		span := m.ProgSpan()
+		blk := uint64(m.Cfg.L2Block)
+
+		// diff tracks the cumulative XOR the adversary applied per address
+		// (and a program offset that maps to it): a nonzero entry means
+		// memory provably differs from the state the tree last covered
+		// (corruption is only injected post-eviction, so no dirty cached
+		// copy can silently heal it; program stores heal only via a
+		// verified write-allocate, which detects first).
+		type corr struct {
+			xor byte
+			off uint64
+		}
+		diff := map[uint64]corr{}
+		mark := func(a uint64, x byte, off uint64) {
+			c := diff[a]
+			diff[a] = corr{xor: c.xor ^ x, off: off}
+		}
+		tampered := false
+
+		ops := data[1:]
+		if len(ops) > 128 {
+			ops = ops[:128]
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			off := (uint64(arg) * 37) % span
+			switch op % 6 {
+			case 0: // verified load
+				err := m.LoadBytes(off, make([]byte, 1+off%8))
+				if err != nil && !tampered {
+					t.Fatalf("clean load flagged a violation: %v", err)
+				}
+			case 1: // byte store (never a full block, so no unverified allocate)
+				if err := m.StoreBytes(off, []byte{arg}); err != nil && !tampered {
+					t.Fatalf("clean store failed: %v", err)
+				}
+			case 2: // cryptographic barrier
+				m.Flush()
+			case 3: // full eviction of protected state
+				m.EvictProtected()
+			case 4: // post-eviction single-byte corruption
+				if arg == 0 {
+					arg = 0xA5
+				}
+				m.EvictProtected()
+				a := m.ProgAddr(off)
+				m.Adversary().Corrupt(a, arg)
+				mark(a, arg, off)
+				tampered = true
+			case 5: // post-eviction burst corruption
+				m.EvictProtected()
+				base := off - off%blk
+				a := m.ProgAddr(base)
+				mask := []byte{arg | 1, 0, arg, byte(i)}
+				m.Adversary().CorruptBurst(a, mask)
+				for j, b := range mask {
+					mark(a+uint64(j), b, base+uint64(j))
+				}
+				tampered = true
+			}
+		}
+
+		// Sweep: if any cumulative corruption survives, loading through the
+		// corrupted bytes must detect it. (Self-cancelling XORs restore
+		// memory exactly and are legitimately undetectable.)
+		var liveOffs []uint64
+		for _, d := range diff {
+			if d.xor != 0 {
+				liveOffs = append(liveOffs, d.off)
+			}
+		}
+		if len(liveOffs) == 0 {
+			return
+		}
+		if m.Sys.Stat.Violations == 0 {
+			m.EvictProtected()
+			for _, off := range liveOffs {
+				_ = m.LoadBytes(off, make([]byte, 1))
+			}
+			if m.Sys.Stat.Violations == 0 {
+				t.Fatalf("scheme %s: %d corrupted byte(s) never detected", scheme, len(liveOffs))
+			}
+		}
+	})
+}
