@@ -13,6 +13,7 @@ import (
 
 	"memverify/internal/figures"
 	"memverify/internal/stats"
+	"memverify/internal/telemetry"
 	"memverify/internal/trace"
 )
 
@@ -197,6 +198,46 @@ func BenchmarkFunctionalThroughput(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead pins the observability layer's throughput
+// contract: "disabled" runs the same workload as SimulatorThroughput/c
+// with no recorder attached (this must stay within 2% of an
+// uninstrumented build — ci.sh compares it against SimulatorThroughput),
+// while "enabled" attaches a full recorder so the cost of tracing is
+// visible; scripts/bench_telemetry.sh records the ratio in
+// BENCH_telemetry.json.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	base := func() Config {
+		cfg := DefaultConfig()
+		cfg.Scheme = SchemeCached
+		cfg.Benchmark = trace.Swim
+		cfg.Instructions = 50_000
+		cfg.Warmup = 0
+		return cfg
+	}
+	b.Run("disabled", func(b *testing.B) {
+		cfg := base()
+		b.SetBytes(int64(cfg.Instructions))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		cfg := base()
+		b.SetBytes(int64(cfg.Instructions))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh small ring per run keeps iterations independent.
+			cfg.Telemetry = telemetry.NewRecorder(1 << 16)
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkGeoMeanOverheads reports the geometric-mean c/base IPC ratio

@@ -35,6 +35,56 @@ go run ./cmd/chaos -n 25 -seed 7 >/dev/null
 go test -run 'TestCampaignAcceptance|TestCampaignDeterministic' ./internal/chaos/
 echo "chaos campaign gate OK"
 
+# Hygiene gate: no compiled or executable blob may be tracked. Shell
+# scripts are the only files allowed to carry the executable bit, and
+# nothing tracked may be an ELF/Mach-O binary.
+while IFS= read -r f; do
+  case "$f" in *.sh) continue ;; esac
+  if [ -x "$f" ]; then
+    echo "FAIL: tracked file $f is executable but not a script" >&2
+    exit 1
+  fi
+  if head -c 4 "$f" | grep -q $'^\x7fELF\|^\xcf\xfa\xed\xfe'; then
+    echo "FAIL: tracked file $f is a compiled binary" >&2
+    exit 1
+  fi
+done < <(git ls-files)
+echo "no tracked binaries OK"
+
+# Telemetry gate: a traced smoke simulation and a traced Figure-5 point
+# must produce Chrome trace JSON that parses with well-nested,
+# timestamp-monotonic spans on every thread, plus a metrics snapshot
+# matching the memverify-metrics-v1 schema (cmd/tracecheck validates both).
+tmp=$(mktemp -d -t memverify-telemetry.XXXXXX)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/simulate -scheme c -bench swim -n 30000 \
+  -trace "$tmp/sim.trace.json" -metrics "$tmp/sim.metrics.json" >/dev/null
+go run ./cmd/tracecheck -min-spans 1000 \
+  -trace "$tmp/sim.trace.json" -metrics "$tmp/sim.metrics.json" >/dev/null
+go run ./cmd/figures -fig5 -n 10000 -warmup 5000 \
+  -trace "$tmp/fig5.trace.json" -metrics "$tmp/fig5.metrics.json" >/dev/null
+go run ./cmd/tracecheck -min-spans 1000 \
+  -trace "$tmp/fig5.trace.json" -metrics "$tmp/fig5.metrics.json" >/dev/null
+echo "telemetry trace/metrics gate OK"
+
+# Telemetry overhead gate: with no recorder attached the emission sites
+# must not allocate (pinned per-site and at whole-run scope) and the
+# disabled leg of BenchmarkTelemetryOverhead must stay within 2% of the
+# uninstrumented BenchmarkSimulatorThroughput/c on the same workload.
+go test -run 'ZeroAllocs|TestDisabledTelemetryAllocsAreConstructionOnly' \
+  ./internal/telemetry/ .
+go test -run '^$' -bench '(BenchmarkSimulatorThroughput|BenchmarkTelemetryOverhead)/(c$|disabled)' \
+  -benchtime 50x . | awk '
+  $1 ~ /^BenchmarkSimulatorThroughput\/c(-[0-9]+)?$/      { base = $3 }
+  $1 ~ /^BenchmarkTelemetryOverhead\/disabled(-[0-9]+)?$/ { dis = $3 }
+  END {
+    if (base == "" || dis == "") { print "FAIL: benchmark output missing"; exit 1 }
+    delta = (dis - base) / base
+    printf "telemetry disabled overhead: base %d ns/op, disabled %d ns/op (%+.1f%%)\n", base, dis, 100 * delta
+    if (delta > 0.02) { print "FAIL: disabled telemetry exceeds the 2% overhead budget"; exit 1 }
+  }'
+echo "telemetry overhead gate OK"
+
 # Fuzz smoke: drive the functional machine through interleaved accesses
 # and adversary mutations for a few seconds looking for panics or missed
 # post-eviction corruption.

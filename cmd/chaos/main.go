@@ -22,6 +22,7 @@ import (
 	"memverify/internal/chaos"
 	"memverify/internal/core"
 	"memverify/internal/stats"
+	"memverify/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func main() {
 		transient = flag.Bool("transient", false, "include transient glitch injections")
 		csvPath   = flag.String("csv", "", "write per-injection rows to this CSV file")
 		jsonPath  = flag.String("json", "", "write full reports to this JSON file")
+		trace     = flag.String("trace", "", "write a Chrome trace-event JSON of the campaign (open in Perfetto)")
+		metrics   = flag.String("metrics", "", "write a deterministic JSON metrics snapshot of the campaign")
 	)
 	flag.Parse()
 
@@ -54,6 +57,15 @@ func main() {
 		defer jsonOut.Close()
 	}
 
+	var rec *telemetry.Recorder
+	if *trace != "" || *metrics != "" {
+		rec = telemetry.NewRecorder(telemetry.DefaultEventCap)
+	}
+	var reg *telemetry.Registry
+	if *metrics != "" {
+		reg = telemetry.NewRegistry()
+	}
+
 	tbl := stats.NewTable("chaos campaign (seed "+fmt.Sprint(*seed)+")",
 		"scheme", "injections", "live", "sweep", "transient", "missed",
 		"det rate", "lat (acc)", "lat (cyc)", "clean viol")
@@ -70,6 +82,7 @@ func main() {
 		cfg.WarmAccesses = *warm
 		cfg.PostAccesses = *post
 		cfg.IncludeTransient = *transient
+		cfg.Telemetry = rec
 
 		clean, err := chaos.CleanViolations(cfg)
 		if err != nil {
@@ -80,6 +93,16 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", scheme, err))
 		}
 		s := rep.Summary
+		if reg != nil {
+			pfx := "chaos." + string(scheme) + "."
+			reg.Add(pfx+"injections", uint64(s.Total))
+			reg.Add(pfx+"detected_live", uint64(s.DetectedLive))
+			reg.Add(pfx+"detected_sweep", uint64(s.DetectedSweep))
+			reg.Add(pfx+"transient", uint64(s.Transient))
+			reg.Add(pfx+"missed", uint64(s.Missed))
+			reg.Add(pfx+"clean_violations", uint64(clean))
+			reg.SetGauge(pfx+"detection_rate", s.DetectionRate)
+		}
 		tbl.AddRow(string(scheme), s.Total, s.DetectedLive, s.DetectedSweep,
 			s.Transient, s.Missed, s.DetectionRate,
 			s.MeanLatencyAccesses, s.MeanLatencyCycles, clean)
@@ -110,6 +133,17 @@ func main() {
 		}
 	}
 	fmt.Print(tbl.String())
+	if *trace != "" {
+		if err := telemetry.WriteTraceFile(*trace, rec.Trace); err != nil {
+			fatal(err)
+		}
+	}
+	if *metrics != "" {
+		rec.FillRegistry(reg)
+		if err := telemetry.WriteMetricsFile(*metrics, reg); err != nil {
+			fatal(err)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}

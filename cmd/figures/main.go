@@ -16,6 +16,7 @@ import (
 	"memverify/internal/core"
 	"memverify/internal/figures"
 	"memverify/internal/profiling"
+	"memverify/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,9 @@ func main() {
 	hashmode := flag.String("hashmode", "", "digest execution for functional points: full, timing, memo")
 	protected := flag.Uint64("protected", 0, "override the protected-region size in bytes (0 = per-figure default)")
 	csvPath := flag.String("csv", "", "also write every run's configuration and metrics to a CSV file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the sweep (forces -workers 1)")
+	metricsPath := flag.String("metrics", "", "write a deterministic JSON metrics snapshot aggregated over the sweep (forces -workers 1)")
+	progress := flag.Bool("progress", false, "show live sweep progress on stderr: points done, throughput, ETA")
 	flag.Parse()
 
 	stopProf, err := prof.Start()
@@ -73,6 +77,26 @@ func main() {
 			figures.WriteCSVRow(f, cfg, mt)
 		}
 	}
+	if *progress {
+		p.Meter = telemetry.NewMeter(os.Stderr, "sweep")
+		defer p.Meter.Finish()
+	}
+	var rec *telemetry.Recorder
+	if *tracePath != "" || *metricsPath != "" {
+		rec = telemetry.NewRecorder(telemetry.DefaultEventCap)
+		p.Telemetry = rec
+	}
+	var reg *telemetry.Registry
+	if *metricsPath != "" {
+		reg = telemetry.NewRegistry()
+		prev := p.Observer
+		p.Observer = func(cfg core.Config, mt core.Metrics) {
+			if prev != nil {
+				prev(cfg, mt)
+			}
+			core.AccumulateMetrics(reg, &mt)
+		}
+	}
 
 	all := !(*table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *ablations)
 
@@ -104,5 +128,19 @@ func main() {
 		fmt.Println(p.AblationHashLatency())
 		fmt.Println(p.AblationAssoc())
 		fmt.Println(p.AblationTreeDepth())
+	}
+
+	if *tracePath != "" {
+		if err := telemetry.WriteTraceFile(*tracePath, rec.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		rec.FillRegistry(reg)
+		if err := telemetry.WriteMetricsFile(*metricsPath, reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

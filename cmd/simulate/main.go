@@ -14,6 +14,7 @@ import (
 
 	"memverify/internal/core"
 	"memverify/internal/profiling"
+	"memverify/internal/telemetry"
 	"memverify/internal/trace"
 )
 
@@ -36,6 +37,8 @@ func main() {
 	table1 := flag.Bool("table1", false, "print Table 1 (architectural parameters) and exit")
 	record := flag.String("record", "", "record the workload's first -n instructions to a trace file and exit")
 	replay := flag.String("replay", "", "drive the simulation from a recorded trace file instead of the synthetic generator")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in Perfetto)")
+	metricsPath := flag.String("metrics", "", "write a deterministic JSON metrics snapshot of the run")
 	flag.Parse()
 
 	stopProf, perr := prof.Start()
@@ -96,8 +99,18 @@ func main() {
 		return
 	}
 
+	var rec *telemetry.Recorder
+	if *tracePath != "" || *metricsPath != "" {
+		rec = telemetry.NewRecorder(telemetry.DefaultEventCap)
+		cfg.Telemetry = rec
+	}
+
+	m, merr := core.NewMachine(cfg)
+	if merr != nil {
+		fmt.Fprintln(os.Stderr, merr)
+		os.Exit(1)
+	}
 	var mt core.Metrics
-	var err error
 	if *replay != "" {
 		data, rerr := os.ReadFile(*replay)
 		if rerr != nil {
@@ -109,15 +122,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, rerr)
 			os.Exit(1)
 		}
-		m, merr := core.NewMachine(cfg)
-		if merr != nil {
-			fmt.Fprintln(os.Stderr, merr)
-			os.Exit(1)
-		}
 		mt = m.RunWith(trace.NewReplay(*replay, recorded))
 	} else {
-		mt, err = core.Run(cfg)
-		if err != nil {
+		mt = m.Run()
+	}
+
+	if *tracePath != "" {
+		if err := telemetry.WriteTraceFile(*tracePath, rec.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		reg := telemetry.NewRegistry()
+		m.FillRegistry(reg, &mt)
+		if err := telemetry.WriteMetricsFile(*metricsPath, reg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -7,6 +7,8 @@
 // paper's bandwidth-pollution analysis (§6.4.2).
 package bus
 
+import "memverify/internal/telemetry"
+
 // Class labels bus traffic for the bandwidth-accounting figures.
 type Class int
 
@@ -38,9 +40,17 @@ type Bus struct {
 	// CyclesPerBeat is CPU cycles per beat (5 for 200 MHz on a 1 GHz core).
 	CyclesPerBeat uint64
 
+	// Tel, when non-nil, receives one bus-grant event per Reserve.
+	Tel *telemetry.Trace
+
 	freeAt uint64
 	bytes  [numClasses]uint64
 	busy   uint64 // total cycles the bus spent transferring
+
+	// Occupancy-window accounting, active only when windowCycles > 0:
+	// windows[i] holds the busy cycles in [i*w, (i+1)*w).
+	windowCycles uint64
+	windows      []uint64
 }
 
 // New returns a bus with the given beat geometry.
@@ -71,7 +81,50 @@ func (b *Bus) Reserve(earliest uint64, n int, class Class) (first, done uint64) 
 	b.freeAt = done
 	b.bytes[class] += uint64(n)
 	b.busy += beats * b.CyclesPerBeat
+	if b.windowCycles > 0 {
+		b.accountWindows(start, done)
+	}
+	b.Tel.Emit(telemetry.TrackBus, telemetry.KindBusGrant, start, done, uint64(n), uint64(class))
 	return first, done
+}
+
+// SetWindow enables per-window occupancy accounting with the given window
+// width in cycles (0 disables it and drops accumulated windows). Each
+// window records how many of its cycles the bus spent transferring.
+func (b *Bus) SetWindow(cycles uint64) {
+	b.windowCycles = cycles
+	b.windows = nil
+}
+
+// Windows returns the per-window busy-cycle series accumulated so far (a
+// copy). Trailing all-idle windows that no transfer has reached yet are
+// absent.
+func (b *Bus) Windows() []uint64 {
+	out := make([]uint64, len(b.windows))
+	copy(out, b.windows)
+	return out
+}
+
+// WindowCycles returns the configured window width (0 when disabled).
+func (b *Bus) WindowCycles() uint64 { return b.windowCycles }
+
+// accountWindows spreads the busy interval [start, done) across the
+// fixed-width occupancy windows it touches.
+func (b *Bus) accountWindows(start, done uint64) {
+	w := b.windowCycles
+	for start < done {
+		idx := start / w
+		for uint64(len(b.windows)) <= idx {
+			b.windows = append(b.windows, 0)
+		}
+		windowEnd := (idx + 1) * w
+		chunk := done
+		if windowEnd < chunk {
+			chunk = windowEnd
+		}
+		b.windows[idx] += chunk - start
+		start = chunk
+	}
 }
 
 // FreeAt returns the cycle at which the bus next becomes idle.
@@ -110,4 +163,5 @@ func (b *Bus) CountOnly(n int, class Class) {
 func (b *Bus) ResetCounters() {
 	b.bytes = [numClasses]uint64{}
 	b.busy = 0
+	b.windows = nil
 }

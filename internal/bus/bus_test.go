@@ -90,6 +90,100 @@ func TestResetCounters(t *testing.T) {
 	}
 }
 
+func TestWindowAccountingSplitsAcrossBoundaries(t *testing.T) {
+	b := New(8, 5)
+	b.SetWindow(100)
+	// 64 bytes = 8 beats x 5 cycles: busy [90, 130) straddles the first
+	// window boundary — 10 cycles land in window 0, 30 in window 1.
+	b.Reserve(90, 64, Data)
+	want := []uint64{10, 30}
+	got := b.Windows()
+	if len(got) != len(want) {
+		t.Fatalf("Windows() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Windows() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowAccountingSkipsIdleWindows(t *testing.T) {
+	b := New(8, 5)
+	b.SetWindow(50)
+	b.Reserve(0, 8, Data)   // busy [0, 5) → window 0
+	b.Reserve(200, 8, Data) // busy [200, 205) → window 4; 1-3 stay idle
+	got := b.Windows()
+	want := []uint64{5, 0, 0, 0, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Windows() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Windows() = %v, want %v", got, want)
+		}
+	}
+	// Window busy cycles must sum to the bus's total busy cycles.
+	var sum uint64
+	for _, v := range got {
+		sum += v
+	}
+	if sum != b.BusyCycles() {
+		t.Errorf("window sum %d != BusyCycles %d", sum, b.BusyCycles())
+	}
+}
+
+func TestWindowAccountingSpanningManyWindows(t *testing.T) {
+	b := New(8, 5)
+	b.SetWindow(10)
+	b.Reserve(5, 64, Hash) // busy [5, 45): 5 + 10 + 10 + 10 + 5
+	want := []uint64{5, 10, 10, 10, 5}
+	got := b.Windows()
+	if len(got) != len(want) {
+		t.Fatalf("Windows() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Windows() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowDisabledByDefaultAndOnReset(t *testing.T) {
+	b := New(8, 5)
+	b.Reserve(0, 64, Data)
+	if b.WindowCycles() != 0 || len(b.Windows()) != 0 {
+		t.Error("window accounting must be off by default")
+	}
+	b.SetWindow(100)
+	b.Reserve(0, 64, Data)
+	if len(b.Windows()) == 0 {
+		t.Fatal("no windows accumulated after SetWindow")
+	}
+	b.ResetCounters()
+	if len(b.Windows()) != 0 {
+		t.Error("ResetCounters must drop accumulated windows")
+	}
+	if b.WindowCycles() != 100 {
+		t.Error("ResetCounters must not change the window width")
+	}
+	b.SetWindow(0)
+	if b.WindowCycles() != 0 {
+		t.Error("SetWindow(0) must disable accounting")
+	}
+}
+
+func TestWindowsReturnsCopy(t *testing.T) {
+	b := New(8, 5)
+	b.SetWindow(100)
+	b.Reserve(0, 8, Data)
+	w := b.Windows()
+	w[0] = 999
+	if b.Windows()[0] == 999 {
+		t.Error("Windows() must return a copy")
+	}
+}
+
 func TestClassString(t *testing.T) {
 	if Data.String() != "data" || Hash.String() != "hash" {
 		t.Error("class names wrong")

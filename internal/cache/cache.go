@@ -85,6 +85,9 @@ type Cache struct {
 	nsets  int
 	Stat   Stats
 	filled int
+	// filledClass tracks residency per traffic class so telemetry can
+	// report how much of the L2 the hash tree occupies (§6.4.1).
+	filledClass [numClasses]int
 }
 
 // New builds a cache. It panics on an inconsistent geometry, which is a
@@ -209,12 +212,14 @@ func (c *Cache) Fill(addr uint64, class Class, data []byte) Line {
 		if evicted.Dirty {
 			c.Stat.WriteBacks[evicted.Class]++
 		}
+		c.filledClass[evicted.Class]--
 		// The caller takes ownership of the victim's data buffer: the slot
 		// below receives a brand-new buffer, so no alias to the evicted
 		// bytes remains inside the cache.
 	} else {
 		c.filled++
 	}
+	c.filledClass[class]++
 	c.clock++
 	nl := Line{Addr: ba, Class: class, Valid: true, lru: c.clock}
 	if c.cfg.DataBearing {
@@ -237,6 +242,7 @@ func (c *Cache) Invalidate(addr uint64) Line {
 			ln := set[i]
 			set[i] = Line{}
 			c.filled--
+			c.filledClass[ln.Class]--
 			return ln
 		}
 	}
@@ -272,6 +278,10 @@ func (c *Cache) Clean(addr uint64) {
 
 // ResidentLines returns the number of valid lines.
 func (c *Cache) ResidentLines() int { return c.filled }
+
+// ResidentLinesClass returns the number of valid lines holding the given
+// traffic class.
+func (c *Cache) ResidentLinesClass(class Class) int { return c.filledClass[class] }
 
 // Sets returns the number of sets (exported for tests and doc output).
 func (c *Cache) Sets() int { return c.nsets }

@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"memverify/internal/core"
+	"memverify/internal/telemetry"
 	"memverify/internal/trace"
 )
 
@@ -94,6 +95,12 @@ type Config struct {
 	// persistent tampering; under other policies a glitch is recorded as a
 	// plain violation.
 	IncludeTransient bool
+
+	// Telemetry, when non-nil, attaches the recorder to every injection's
+	// machine (cmd/chaos -trace/-metrics). Each injection runs on a fresh
+	// machine, so each shows up as its own process in the exported trace.
+	// A recorder is single-goroutine; campaigns already run serially.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultConfig returns a campaign sized for CI: a 3-level tree over a
@@ -128,6 +135,7 @@ func (c Config) machineConfig() core.Config {
 	if c.Scheme == core.SchemeMulti || c.Scheme == core.SchemeIncr {
 		cfg.ChunkBlocks = 2
 	}
+	cfg.Telemetry = c.Telemetry
 	return cfg
 }
 

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -118,6 +119,33 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// MarshalJSON emits the summary with alphabetically sorted keys and fixed
+// %.6f float formatting, so reports are byte-stable across Go versions
+// (encoding/json's shortest-float rendering is not part of its
+// compatibility promise) and diff cleanly between campaigns.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"detected_live":%d,"detected_sweep":%d,"detection_rate":%.6f,`+
+		`"max_resident_window":%d,"mean_latency_accesses":%.6f,"mean_latency_cycles":%.6f,`+
+		`"missed":%d,"total":%d,"transient":%d}`,
+		s.DetectedLive, s.DetectedSweep, s.DetectionRate,
+		s.MaxResidentWindow, s.MeanLatencyAccesses, s.MeanLatencyCycles,
+		s.Missed, s.Total, s.Transient)
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON is the inverse of the custom marshaler; it restores the
+// round-trip property encoding/json gave the plain struct.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	type plain Summary // drop the methods to avoid recursion
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*s = Summary(p)
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"memverify/internal/hashalg"
 	"memverify/internal/integrity"
 	"memverify/internal/stats"
+	"memverify/internal/telemetry"
 	"memverify/internal/tlb"
 	"memverify/internal/trace"
 )
@@ -96,6 +97,14 @@ type Config struct {
 	// once to distinguish transient bus/DRAM faults from persistent
 	// tampering. See integrity.ViolationPolicy.
 	ViolationPolicy string
+
+	// Telemetry, when non-nil, attaches the observability layer: every
+	// timed component emits cycle-timestamped events into the recorder's
+	// trace, the hash-buffer and verification-overhead probes are armed,
+	// and the bus accumulates occupancy windows. nil (the default) is the
+	// zero-overhead fast path. A recorder is single-goroutine: machines
+	// sharing one must run serially.
+	Telemetry *telemetry.Recorder
 
 	CPU cpu.Config
 }

@@ -12,6 +12,7 @@ import (
 	"memverify/internal/htree"
 	"memverify/internal/integrity"
 	"memverify/internal/mem"
+	"memverify/internal/telemetry"
 	"memverify/internal/tlb"
 	"memverify/internal/trace"
 )
@@ -34,6 +35,7 @@ type Machine struct {
 
 	backing *mem.Sparse
 	adv     *mem.Adversary
+	tel     *telemetry.Trace // nil unless Cfg.Telemetry is attached
 
 	policy    integrity.ViolationPolicy
 	halted    bool
@@ -106,6 +108,23 @@ func NewMachine(cfg Config) (*Machine, error) {
 		Exec:        integrity.NewHashExec(mode),
 		Policy:      policy,
 		OnViolation: m.noteViolation,
+	}
+
+	if rec := cfg.Telemetry; rec != nil {
+		m.tel = rec.Trace
+		m.tel.BeginProcess(fmt.Sprintf("%s/%s", cfg.Scheme, cfg.Benchmark.Name))
+		m.Bus.Tel = rec.Trace
+		m.DRAM.Tel = rec.Trace
+		m.Sys.Unit.Tel = rec.Trace
+		m.Sys.Tel = rec.Trace
+		m.Sys.Probes = rec.Probes
+		if p := rec.Probes; p != nil {
+			m.Sys.Unit.ReadBuf.Occ = p.ReadBufOcc
+			m.Sys.Unit.WriteBuf.Occ = p.WriteBufOcc
+		}
+		if rec.BusWindowCycles > 0 {
+			m.Bus.SetWindow(rec.BusWindowCycles)
+		}
 	}
 
 	switch cfg.Scheme {
@@ -326,9 +345,12 @@ func (h *hierarchy) mapData(addr uint64) uint64 {
 // l2read performs an L2 read access for a block, returning completion.
 func (h *hierarchy) l2read(now uint64, addr uint64) uint64 {
 	if h.L2.Read(addr, cache.Data) != nil {
+		h.tel.Emit(telemetry.TrackL2, telemetry.KindL2Read, now, now+h.Cfg.L2Latency, addr, 0)
 		return now + h.Cfg.L2Latency
 	}
-	return h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr)
+	done := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr)
+	h.tel.Emit(telemetry.TrackL2, telemetry.KindL2Read, now, done, addr, 1)
+	return done
 }
 
 // l2write performs an L2 write access (a dirty L1 line arriving, or a
@@ -337,7 +359,9 @@ func (h *hierarchy) l2read(now uint64, addr uint64) uint64 {
 func (h *hierarchy) l2write(now uint64, addr uint64) uint64 {
 	ln := h.L2.Write(addr, cache.Data)
 	done := now + h.Cfg.L2Latency
+	miss := uint64(0)
 	if ln == nil {
+		miss = 1
 		t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr)
 		if t > done {
 			done = t
@@ -347,6 +371,7 @@ func (h *hierarchy) l2write(now uint64, addr uint64) uint64 {
 			panic("core: write-allocate failed to cache the block")
 		}
 	}
+	h.tel.Emit(telemetry.TrackL2, telemetry.KindL2Write, now, done, addr, miss)
 	if ln.Data != nil {
 		// Stamp the stored-to word with a fresh value so write-backs
 		// propagate real changes through the hash machinery.
@@ -364,7 +389,9 @@ func (h *hierarchy) l2data(now uint64, addr uint64, write bool, p []byte) uint64
 	if write {
 		ln := h.L2.Write(addr, cache.Data)
 		done := now + h.Cfg.L2Latency
+		miss := uint64(0)
 		if ln == nil {
+			miss = 1
 			if t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr); t > done {
 				done = t
 			}
@@ -374,11 +401,14 @@ func (h *hierarchy) l2data(now uint64, addr uint64, write bool, p []byte) uint64
 			}
 		}
 		copy(ln.Data[addr-ln.Addr:], p)
+		h.tel.Emit(telemetry.TrackL2, telemetry.KindL2Write, now, done, addr, miss)
 		return done
 	}
 	done := now + h.Cfg.L2Latency
+	miss := uint64(0)
 	ln := h.L2.Read(addr, cache.Data)
 	if ln == nil {
+		miss = 1
 		if t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr); t > done {
 			done = t
 		}
@@ -388,6 +418,7 @@ func (h *hierarchy) l2data(now uint64, addr uint64, write bool, p []byte) uint64
 		}
 	}
 	copy(p, ln.Data[addr-ln.Addr:uint64(len(ln.Data))])
+	h.tel.Emit(telemetry.TrackL2, telemetry.KindL2Read, now, done, addr, miss)
 	return done
 }
 

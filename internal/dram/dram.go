@@ -3,7 +3,10 @@
 // transfer over the shared memory bus.
 package dram
 
-import "memverify/internal/bus"
+import (
+	"memverify/internal/bus"
+	"memverify/internal/telemetry"
+)
 
 // DRAM is the timing model for the off-chip memory. Functional contents
 // live in mem.Memory; DRAM only answers "when".
@@ -13,6 +16,8 @@ type DRAM struct {
 	FirstChunkLatency uint64
 	// Bus carries every transfer; nil is not allowed.
 	Bus *bus.Bus
+	// Tel, when non-nil, receives one event per DRAM transaction.
+	Tel *telemetry.Trace
 
 	reads, writes uint64
 }
@@ -30,7 +35,9 @@ func New(firstChunkLatency uint64, b *bus.Bus) *DRAM {
 // the requester and the cycle the full block has arrived.
 func (d *DRAM) Read(now uint64, n int, class bus.Class) (critical, done uint64) {
 	d.reads++
-	return d.Bus.Reserve(now+d.FirstChunkLatency, n, class)
+	critical, done = d.Bus.Reserve(now+d.FirstChunkLatency, n, class)
+	d.Tel.Emit(telemetry.TrackDRAM, telemetry.KindDRAMRead, now, done, uint64(n), 0)
+	return critical, done
 }
 
 // Write schedules a block write of n bytes issued at cycle now and returns
@@ -39,6 +46,7 @@ func (d *DRAM) Read(now uint64, n int, class bus.Class) (critical, done uint64) 
 func (d *DRAM) Write(now uint64, n int, class bus.Class) (done uint64) {
 	d.writes++
 	_, done = d.Bus.Reserve(now, n, class)
+	d.Tel.Emit(telemetry.TrackDRAM, telemetry.KindDRAMWrite, now, done, uint64(n), 0)
 	return done
 }
 

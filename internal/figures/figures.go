@@ -15,6 +15,7 @@ import (
 	"memverify/internal/core"
 	"memverify/internal/stats"
 	"memverify/internal/sweep"
+	"memverify/internal/telemetry"
 	"memverify/internal/trace"
 )
 
@@ -48,6 +49,13 @@ type Params struct {
 	// ProtectedBytes overrides the protected-region size when non-zero.
 	// Functional full/memo runs must stay within the 256 MiB tree cap.
 	ProtectedBytes uint64
+	// Telemetry, when non-nil, attaches the recorder to every point's
+	// machine. A recorder is single-goroutine, so runAll forces the sweep
+	// serial while one is attached (Workers is ignored).
+	Telemetry *telemetry.Recorder
+	// Meter, when non-nil, shows live sweep progress on its writer: points
+	// completed, throughput and ETA (cmd/figures -progress).
+	Meter *telemetry.Meter
 }
 
 // DefaultParams returns a budget that completes the full figure suite in
@@ -86,6 +94,7 @@ func (p *Params) config(pt point) core.Config {
 	if p.ProtectedBytes != 0 {
 		cfg.ProtectedBytes = p.ProtectedBytes
 	}
+	cfg.Telemetry = p.Telemetry
 	return cfg
 }
 
@@ -102,7 +111,14 @@ func (p *Params) runAll(pts []point) []core.Metrics {
 			panic(fmt.Sprintf("figures: invalid configuration for %s: %v", pt.bench.Name, err))
 		}
 	}
-	mts, err := sweep.New(p.Workers).Run(cfgs, func(_ int, cfg core.Config, mt core.Metrics) {
+	workers := p.Workers
+	if p.Telemetry != nil {
+		// The recorder is single-goroutine: tracing a sweep serializes it.
+		workers = 1
+	}
+	pool := sweep.New(workers)
+	pool.Meter = p.Meter
+	mts, err := pool.Run(cfgs, func(_ int, cfg core.Config, mt core.Metrics) {
 		if p.Progress != nil {
 			fmt.Fprintf(p.Progress, "  %s\n", mt)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"memverify/internal/bus"
 	"memverify/internal/cache"
+	"memverify/internal/telemetry"
 )
 
 // noDemand marks a chunk fetch with no processor-demanded block (hash-slot
@@ -188,6 +189,7 @@ func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img [
 	base := s.Layout.ChunkAddr(c)
 	_, bclass := s.classFor(c)
 	start := now
+	extrasBefore := s.Stat.ExtraBlockReads
 
 	// 1. Fetch the chunk's stored record (through the cache; recursive).
 	// The root lives in the secure register and is aliased, not copied;
@@ -305,6 +307,11 @@ func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img [
 	}
 	s.Unit.ReadBuf.Release(idx, checkDone)
 	s.noteCheck(checkDone)
+	s.Tel.Emit(telemetry.TrackIntegrity, telemetry.KindTreeWalk,
+		now, checkDone, c, s.Stat.ExtraBlockReads-extrasBefore)
+	if demandBA != noDemand && s.CheckReads {
+		s.observeVerifyOverhead(ready, checkDone)
+	}
 	return img, ready, checkDone
 }
 
@@ -614,6 +621,7 @@ func (e *Cached) evictCached(now uint64, line cache.Line) uint64 {
 	s.putRec(recBuf)
 	s.Unit.WriteBuf.Release(idx, done)
 	s.noteCheck(done)
+	s.Tel.Emit(telemetry.TrackIntegrity, telemetry.KindWriteBack, now, done, c, 0)
 	return done
 }
 

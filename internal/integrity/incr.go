@@ -6,6 +6,7 @@ import (
 	"memverify/internal/bus"
 	"memverify/internal/cache"
 	"memverify/internal/hashalg"
+	"memverify/internal/telemetry"
 )
 
 // Incr is the paper's `i` scheme (§5.5): the multi-block organization of
@@ -228,6 +229,7 @@ func (e *Incr) evictIncr(now uint64, line cache.Line) uint64 {
 	}
 	s.Unit.WriteBuf.Release(idx, done)
 	s.noteCheck(done)
+	s.Tel.Emit(telemetry.TrackIntegrity, telemetry.KindWriteBack, now, done, c, 1)
 	return done
 }
 

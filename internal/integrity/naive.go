@@ -6,6 +6,7 @@ import (
 
 	"memverify/internal/bus"
 	"memverify/internal/cache"
+	"memverify/internal/telemetry"
 )
 
 // Naive places the hash-tree machinery between the L2 and external memory
@@ -206,6 +207,11 @@ func (e *Naive) ReadBlock(now uint64, addr uint64) uint64 {
 	s.noteCheck(done)
 
 	s.observePath(s.Stat.ExtraBlockReads - before)
+	s.Tel.Emit(telemetry.TrackIntegrity, telemetry.KindTreeWalk,
+		now, done, c, s.Stat.ExtraBlockReads-before)
+	if s.CheckReads {
+		s.observeVerifyOverhead(critical, done)
+	}
 	ba := s.L2.BlockAddr(addr)
 	// Fill copies img before the eviction below can re-enter the engine
 	// and reuse the released buffer.
@@ -313,6 +319,7 @@ func (e *Naive) Evict(now uint64, line cache.Line) uint64 {
 	e.releaseAncestors(ancestors)
 	s.Unit.WriteBuf.Release(idx, t)
 	s.noteCheck(t)
+	s.Tel.Emit(telemetry.TrackIntegrity, telemetry.KindWriteBack, now, t, c, 0)
 	return t
 }
 

@@ -10,6 +10,7 @@ import (
 	"memverify/internal/htree"
 	"memverify/internal/mem"
 	"memverify/internal/stats"
+	"memverify/internal/telemetry"
 )
 
 // Stats counts the integrity machinery's activity. Figure 5 is computed
@@ -107,6 +108,13 @@ type System struct {
 	// machinery.
 	Trace func(event string, args ...uint64)
 
+	// Tel, when non-nil, receives cycle-timestamped telemetry spans for
+	// tree-ancestor walks and engine write-backs; Probes, when non-nil,
+	// feeds the per-access verification-overhead histogram. Both are nil
+	// unless the machine was built with telemetry enabled.
+	Tel    *telemetry.Trace
+	Probes *telemetry.Probes
+
 	Stat  Stats
 	First *ViolationError
 
@@ -191,6 +199,20 @@ func (s *System) observePath(extras uint64) {
 		s.PathExtras = stats.NewHistogram(1, 2, 3, 5, 9, 13)
 	}
 	s.PathExtras.Observe(extras)
+}
+
+// observeVerifyOverhead feeds the per-access verification-overhead probe:
+// the cycles between a demand block being ready for speculative use and
+// its background check completing.
+func (s *System) observeVerifyOverhead(ready, checkDone uint64) {
+	if s.Probes == nil || s.Probes.VerifyOverhead == nil {
+		return
+	}
+	var d uint64
+	if checkDone > ready {
+		d = checkDone - ready
+	}
+	s.Probes.VerifyOverhead.Observe(d)
 }
 
 // noteCheck records the completion cycle of a background check or

@@ -5,7 +5,12 @@
 // bounded read and write buffers that sits next to the L2 cache.
 package integrity
 
-import "fmt"
+import (
+	"fmt"
+
+	"memverify/internal/stats"
+	"memverify/internal/telemetry"
+)
 
 // BufferPool models a small set of hardware buffer entries (the "hash
 // read/write buffer" of Table 1). An entry is acquired when a block enters
@@ -21,6 +26,10 @@ type BufferPool struct {
 	busyUntil []uint64
 	waits     uint64 // acquisitions that had to wait
 	acquired  uint64
+
+	// Occ, when non-nil, observes the number of already-busy entries at
+	// each acquisition — the buffer-pressure distribution behind Figure 7.
+	Occ *stats.Histogram
 }
 
 // NewBufferPool returns a pool with n entries. n must be positive.
@@ -35,6 +44,15 @@ func NewBufferPool(n int) *BufferPool {
 // now. It returns the entry index and the cycle the reservation begins.
 func (p *BufferPool) Acquire(now uint64) (entry int, start uint64) {
 	best := 0
+	if p.Occ != nil {
+		busy := uint64(0)
+		for _, b := range p.busyUntil {
+			if b > now {
+				busy++
+			}
+		}
+		p.Occ.Observe(busy)
+	}
 	for i, b := range p.busyUntil {
 		if b < p.busyUntil[best] {
 			best = i
@@ -79,6 +97,8 @@ type HashUnit struct {
 	// ReadBuf holds incoming blocks awaiting check; WriteBuf holds evicted
 	// blocks awaiting hash generation.
 	ReadBuf, WriteBuf *BufferPool
+	// Tel, when non-nil, receives one hash-job event per Hash call.
+	Tel *telemetry.Trace
 
 	pipeFree uint64
 	ops      uint64
@@ -119,6 +139,7 @@ func (u *HashUnit) Hash(now uint64, n int) (done uint64) {
 	if occupancy > lat {
 		lat = occupancy
 	}
+	u.Tel.Emit(telemetry.TrackHash, telemetry.KindHashJob, start, start+lat, uint64(n), 0)
 	return start + lat
 }
 

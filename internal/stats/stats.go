@@ -82,6 +82,114 @@ func (h *Histogram) Max() uint64 { return h.max }
 // Bucket returns the count of samples in bucket i (len(bounds)+1 buckets).
 func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
 
+// Sum returns the sum of all samples observed.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Bounds returns the ascending bucket upper bounds (a copy).
+func (h *Histogram) Bounds() []uint64 {
+	out := make([]uint64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Buckets returns the per-bucket counts (a copy); the final entry is the
+// overflow bucket.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the bucket containing the target rank. Samples in the overflow
+// bucket are treated as spanning [last bound, max]. It returns 0 with no
+// samples; q is clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := 0.0
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next || i == len(h.buckets)-1 {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			hi := float64(h.max)
+			if i < len(h.bounds) {
+				hi = float64(h.bounds[i])
+			}
+			if hi < lo {
+				hi = lo // max below last bound (overflow bucket empty case)
+			}
+			frac := (rank - cum) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			v := lo + frac*(hi-lo)
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+		cum = next
+	}
+	return float64(h.max)
+}
+
+// Merge folds other's samples into h. Both histograms must share identical
+// bucket bounds; Merge panics otherwise, because silently re-bucketing
+// would corrupt the distribution. A nil other is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if len(h.bounds) != len(other.bounds) {
+		panic("stats: merging histograms with different bounds")
+	}
+	for i, b := range other.bounds {
+		if h.bounds[i] != b {
+			panic("stats: merging histograms with different bounds")
+		}
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		buckets: make([]uint64, len(h.buckets)),
+		bounds:  make([]uint64, len(h.bounds)),
+		count:   h.count,
+		sum:     h.sum,
+		max:     h.max,
+	}
+	copy(c.buckets, h.buckets)
+	copy(c.bounds, h.bounds)
+	return c
+}
+
 // Table accumulates rows of labeled numeric cells and renders them as an
 // aligned plain-text table, the way the figure harness prints paper figures.
 type Table struct {

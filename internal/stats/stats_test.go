@@ -57,6 +57,97 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(10) // exactly at the last bound lands in overflow
+	h.Observe(1 << 40)
+	if h.Bucket(0) != 0 || h.Bucket(1) != 2 {
+		t.Fatalf("buckets = %v, want all samples in overflow", h.Buckets())
+	}
+	if h.Max() != 1<<40 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	// Overflow-bucket quantiles interpolate between the last bound and max.
+	if q := h.Quantile(1); q != float64(1<<40) {
+		t.Fatalf("Quantile(1) = %v, want max", q)
+	}
+	if q := h.Quantile(0); q < 10 || q > float64(1<<40) {
+		t.Fatalf("Quantile(0) = %v, outside overflow span", q)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram(10, 20)
+	for i := 0; i < 10; i++ {
+		h.Observe(5)  // bucket [0,10)
+		h.Observe(15) // bucket [10,20)
+	}
+	// Median rank falls exactly at the bucket boundary.
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("Quantile(0.5) = %v, want 10", q)
+	}
+	// Rank 15 of 20 → 5 samples into the 10-wide second bucket.
+	if q := h.Quantile(0.75); q != 15 {
+		t.Fatalf("Quantile(0.75) = %v, want 15", q)
+	}
+	// Quantile never exceeds the observed max, even mid-bucket.
+	if q := h.Quantile(1); q > float64(h.Max()) {
+		t.Fatalf("Quantile(1) = %v exceeds max %d", q, h.Max())
+	}
+	// Out-of-range q clamps; empty histogram returns 0.
+	if q := h.Quantile(2); q != h.Quantile(1) {
+		t.Fatalf("q>1 not clamped: %v", q)
+	}
+	if q := NewHistogram(10).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 100)
+	b := NewHistogram(10, 100)
+	a.Observe(5)
+	a.Observe(50)
+	b.Observe(50)
+	b.Observe(500)
+	a.Merge(b)
+	if a.Count() != 4 || a.Sum() != 605 || a.Max() != 500 {
+		t.Fatalf("merged count/sum/max = %d/%d/%d", a.Count(), a.Sum(), a.Max())
+	}
+	if a.Bucket(0) != 1 || a.Bucket(1) != 2 || a.Bucket(2) != 1 {
+		t.Fatalf("merged buckets = %v", a.Buckets())
+	}
+	// b is untouched.
+	if b.Count() != 2 {
+		t.Fatalf("merge mutated source: count %d", b.Count())
+	}
+	// Merging a nil histogram is a no-op.
+	a.Merge(nil)
+	if a.Count() != 4 {
+		t.Fatal("nil merge changed counts")
+	}
+	// Mismatched bounds must panic rather than silently re-bucket.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge with different bounds did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(7))
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(3)
+	c := h.Clone()
+	c.Observe(4)
+	if h.Count() != 1 || c.Count() != 2 {
+		t.Fatalf("clone not independent: %d/%d", h.Count(), c.Count())
+	}
+	if b := h.Bounds(); len(b) != 1 || b[0] != 10 {
+		t.Fatalf("Bounds = %v", b)
+	}
+}
+
 func TestHistogramUnsortedBounds(t *testing.T) {
 	h := NewHistogram(100, 10) // bounds given out of order
 	h.Observe(5)

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"memverify/internal/core"
+	"memverify/internal/telemetry"
 )
 
 // Pool executes batches of simulation configurations. The zero value is not
@@ -25,6 +26,12 @@ import (
 // batches from multiple goroutines at once.
 type Pool struct {
 	workers int
+
+	// Meter, when non-nil, receives live progress: one StartBatch per Run
+	// and one Tick per delivered result. Ticks fire from the delivering
+	// goroutine in submission order, so the progress line is deterministic
+	// in count (timing text aside) for serial and parallel runs alike.
+	Meter *telemetry.Meter
 }
 
 // New builds a pool. workers <= 0 selects GOMAXPROCS (all available
@@ -54,6 +61,7 @@ func (p *Pool) Run(cfgs []core.Config, onResult func(i int, cfg core.Config, mt 
 	if len(cfgs) == 0 {
 		return out, nil
 	}
+	p.Meter.StartBatch(len(cfgs))
 	if p.workers == 1 || len(cfgs) == 1 {
 		for i, cfg := range cfgs {
 			mt, err := core.Run(cfg)
@@ -64,6 +72,7 @@ func (p *Pool) Run(cfgs []core.Config, onResult func(i int, cfg core.Config, mt 
 			if onResult != nil {
 				onResult(i, cfg, mt)
 			}
+			p.Meter.Tick()
 		}
 		return out, nil
 	}
@@ -146,6 +155,7 @@ func (p *Pool) Run(cfgs []core.Config, onResult func(i int, cfg core.Config, mt 
 		if onResult != nil {
 			onResult(i, cfgs[i], out[i])
 		}
+		p.Meter.Tick()
 	}
 	stop.Store(true)
 	<-exitWake

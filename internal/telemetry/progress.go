@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Meter prints live sweep progress — points completed, per-point
+// throughput and an ETA — to a terminal-ish writer, redrawing one line
+// with carriage returns. A nil *Meter is the disabled state: every method
+// is a nil-receiver no-op and never reads the clock, so sweeps without
+// -progress stay deterministic and allocation-free.
+type Meter struct {
+	w         io.Writer
+	label     string
+	total     int
+	done      int
+	start     time.Time
+	lastDraw  time.Time
+	drawEvery time.Duration
+}
+
+// NewMeter returns a meter writing to w (normally os.Stderr) under the
+// given label.
+func NewMeter(w io.Writer, label string) *Meter {
+	return &Meter{w: w, label: label, drawEvery: 200 * time.Millisecond}
+}
+
+// StartBatch announces n more points of upcoming work. Figure sweeps call
+// it once per figure; totals accumulate so the ETA covers everything
+// announced so far.
+func (m *Meter) StartBatch(n int) {
+	if m == nil {
+		return
+	}
+	if m.start.IsZero() {
+		m.start = time.Now()
+	}
+	m.total += n
+	m.draw(false)
+}
+
+// Tick records one completed point and redraws (throttled).
+func (m *Meter) Tick() {
+	if m == nil {
+		return
+	}
+	m.done++
+	m.draw(false)
+}
+
+// Finish forces a final draw and terminates the progress line.
+func (m *Meter) Finish() {
+	if m == nil {
+		return
+	}
+	m.draw(true)
+	fmt.Fprintln(m.w)
+}
+
+func (m *Meter) draw(force bool) {
+	now := time.Now()
+	if !force && m.done != m.total && now.Sub(m.lastDraw) < m.drawEvery {
+		return
+	}
+	m.lastDraw = now
+	elapsed := now.Sub(m.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(m.done) / elapsed
+	}
+	eta := "--"
+	if rate > 0 && m.done < m.total {
+		eta = fmtDuration(time.Duration(float64(m.total-m.done)/rate) * time.Second)
+	} else if m.done >= m.total {
+		eta = "done"
+	}
+	fmt.Fprintf(m.w, "\r%s: %d/%d points  %.2f pts/s  eta %s   ",
+		m.label, m.done, m.total, rate, eta)
+}
+
+func fmtDuration(d time.Duration) string {
+	if d >= time.Hour {
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+	if d >= time.Minute {
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	}
+	return fmt.Sprintf("%ds", int(d.Seconds()))
+}

@@ -2,6 +2,30 @@ package memverify
 
 import "testing"
 
+// TestDisabledTelemetryAllocsAreConstructionOnly pins the alloc half of
+// the telemetry overhead contract at whole-simulation scope: with no
+// recorder attached every emission site is a nil-receiver no-op, so
+// allocations are one-time machine construction and a 16x longer run must
+// not allocate more than a short one (small slack absorbs GC noise).
+func TestDisabledTelemetryAllocsAreConstructionOnly(t *testing.T) {
+	run := func(n uint64) float64 {
+		cfg := DefaultConfig()
+		cfg.Scheme = SchemeCached
+		cfg.Benchmark, _ = BenchmarkByName("swim")
+		cfg.Instructions = n
+		cfg.Warmup = 0
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := run(20_000), run(320_000)
+	if long > short+32 {
+		t.Errorf("16x instructions grew allocs from %.0f to %.0f: the disabled hot path is allocating", short, long)
+	}
+}
+
 // TestFacade exercises the root package's re-exports end to end.
 func TestFacade(t *testing.T) {
 	if len(Benchmarks()) != 9 {

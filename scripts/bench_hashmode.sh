@@ -29,18 +29,18 @@ for scheme in naive c m i; do
   timing_x=$(awk -v f="$full_ns" -v t="$timing_ns" 'BEGIN { printf "%.2f", f / t }')
   memo_x=$(awk -v f="$full_ns" -v m="$memo_ns" 'BEGIN { printf "%.2f", f / m }')
   echo "$scheme: full ${full_ns} ns/op, timing ${timing_ns} ns/op (${timing_x}x), memo ${memo_ns} ns/op (${memo_x}x)"
-  rows="$rows    {\"scheme\": \"$scheme\", \"full_ns_op\": $full_ns, \"timing_ns_op\": $timing_ns, \"memo_ns_op\": $memo_ns, \"timing_speedup\": $timing_x, \"memo_speedup\": $memo_x},\n"
+  rows="$rows    {\"full_ns_op\": $full_ns, \"memo_ns_op\": $memo_ns, \"memo_speedup\": $memo_x, \"scheme\": \"$scheme\", \"timing_ns_op\": $timing_ns, \"timing_speedup\": $timing_x},\n"
 done
 rows=$(printf '%b' "$rows" | sed '$ s/,$//')
 
 cat >"$OUT" <<EOF
 {
   "benchmark": "go test -bench BenchmarkFunctionalThroughput -benchtime $BENCHTIME",
-  "workload": "art, 100k instructions, 8 MiB protected, md5",
   "modes": ["full", "timing", "memo"],
   "schemes": [
 $rows
-  ]
+  ],
+  "workload": "art, 100k instructions, 8 MiB protected, md5"
 }
 EOF
 echo "wrote $OUT"

@@ -33,8 +33,8 @@ cat >"$OUT" <<EOF
 {
   "benchmark": "cmd/figures -fig5 -fig8 -n $N -warmup $WARMUP",
   "cpus": $cores,
-  "serial_ms": $serial_ms,
   "parallel_ms": $parallel_ms,
+  "serial_ms": $serial_ms,
   "speedup": $speedup
 }
 EOF

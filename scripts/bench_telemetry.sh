@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Measures the telemetry layer's overhead contract via
+# BenchmarkTelemetryOverhead: the same simulation with no recorder
+# attached (disabled — must stay within 2% of an uninstrumented build)
+# and with a full recorder (enabled — the price of tracing), written to
+# BENCH_telemetry.json. Knobs: BENCHTIME (iterations/point), OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-10x}
+OUT=${OUT:-BENCH_telemetry.json}
+
+raw=$(go test -run '^$' -bench BenchmarkTelemetryOverhead -benchtime "$BENCHTIME" .)
+
+# "BenchmarkTelemetryOverhead/disabled-N  10  5812615 ns/op ... 112 allocs/op"
+# → "disabled 5812615 112"
+parsed=$(printf '%s\n' "$raw" | awk '
+  /^BenchmarkTelemetryOverhead\// {
+    split($1, path, "/"); sub(/-[0-9]+$/, "", path[2])
+    allocs = "?"
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+    print path[2], $3, allocs
+  }')
+
+disabled_ns=$(printf '%s\n' "$parsed" | awk '$1=="disabled" {print $2}')
+enabled_ns=$(printf '%s\n' "$parsed" | awk '$1=="enabled" {print $2}')
+disabled_allocs=$(printf '%s\n' "$parsed" | awk '$1=="disabled" {print $3}')
+enabled_allocs=$(printf '%s\n' "$parsed" | awk '$1=="enabled" {print $3}')
+overhead=$(awk -v d="$disabled_ns" -v e="$enabled_ns" 'BEGIN { printf "%.3f", (e - d) / d }')
+
+cat >"$OUT" <<EOF
+{
+  "benchmark": "go test -bench BenchmarkTelemetryOverhead -benchtime $BENCHTIME",
+  "disabled_allocs_op": $disabled_allocs,
+  "disabled_ns_op": $disabled_ns,
+  "enabled_allocs_op": $enabled_allocs,
+  "enabled_ns_op": $enabled_ns,
+  "enabled_overhead": $overhead,
+  "workload": "swim, 50k instructions, scheme c, trace + probes + bus windows"
+}
+EOF
+echo "wrote $OUT: disabled ${disabled_ns} ns/op, enabled ${enabled_ns} ns/op (+${overhead})"
