@@ -35,6 +35,22 @@ go run ./cmd/chaos -n 25 -seed 7 >/dev/null
 go test -run 'TestCampaignAcceptance|TestCampaignDeterministic' ./internal/chaos/
 echo "chaos campaign gate OK"
 
+# Sharded-store gate: the concurrent store must stay race-clean and
+# byte-identical to a single machine under every scheme, and the loadgen
+# smoke must verify clean traffic (it exits nonzero on any violation or
+# mirror mismatch) for all four tree schemes. The tamper leg asserts the
+# opposite: a corrupted shard must be detected and fail the run.
+go test -race -run 'TestCrossShardEquivalence|TestTamperIsolation|TestConcurrentSubmittersConverge' \
+  ./internal/shard/
+for scheme in naive c m i; do
+  go run ./cmd/loadgen -scheme "$scheme" -shards 4 -workers 2 -ops 2000 >/dev/null
+done
+if go run ./cmd/loadgen -shards 2 -workers 2 -ops 500 -tamper 1 >/dev/null 2>&1; then
+  echo "FAIL: loadgen did not detect the tampered shard" >&2
+  exit 1
+fi
+echo "sharded store gate OK"
+
 # Hygiene gate: no compiled or executable blob may be tracked. Shell
 # scripts are the only files allowed to carry the executable bit, and
 # nothing tracked may be an ELF/Mach-O binary.

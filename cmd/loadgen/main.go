@@ -1,0 +1,224 @@
+// Command loadgen drives mixed read/write traffic through a sharded
+// verification store (internal/shard) and reports verified throughput.
+// Every read is checked against a per-worker mirror of the bytes the
+// store should hold, and the final region is re-verified through the hash
+// machinery, so a nonzero exit means a real integrity or consistency
+// failure — the CI smoke test relies on that.
+//
+// Usage:
+//
+//	loadgen -scheme c -shards 4 -workers 4 -ops 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"memverify/internal/core"
+	"memverify/internal/shard"
+	"memverify/internal/telemetry"
+	"memverify/internal/trace"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}
+
+func main() {
+	cfg := core.DefaultConfig()
+	scheme := flag.String("scheme", "c", "verification scheme: naive, c, m, i")
+	shards := flag.Int("shards", 4, "number of independent verification shards")
+	workers := flag.Int("workers", 4, "concurrent traffic generators (each owns a disjoint stripe)")
+	ops := flag.Int("ops", 20_000, "operations per worker")
+	writeFrac := flag.Float64("write-frac", 0.5, "fraction of operations that are writes")
+	maxLen := flag.Int("max-len", 256, "maximum bytes per operation")
+	batch := flag.Int("batch", 16, "operations in flight per worker before completion is collected")
+	queueDepth := flag.Int("queue-depth", 64, "per-shard request queue depth")
+	protected := flag.Uint64("protected", 8<<20, "total protected bytes across all shards")
+	l2 := flag.Int("l2", 256<<10, "per-shard L2 size in bytes")
+	block := flag.Int("block", cfg.L2Block, "L2 block size in bytes")
+	chunkBlocks := flag.Int("chunk-blocks", 0, "L2 blocks per hash chunk (default 1, or 2 for m/i)")
+	hashmode := flag.String("hashmode", "full", "digest execution: full, timing, memo")
+	alg := flag.String("alg", cfg.HashAlg, "hash algorithm: md5, sha1, fnv128")
+	policy := flag.String("policy", "record", "violation policy: record, halt, retry")
+	seed := flag.Uint64("seed", 1, "traffic seed")
+	tamper := flag.Int("tamper", -1, "corrupt this shard's memory after the traffic phase (expect a nonzero exit)")
+	verify := flag.Bool("verify", true, "re-read and verify the whole region after the traffic phase")
+	tracePath := flag.String("trace", "", "write a merged Chrome trace (one process per shard)")
+	metricsPath := flag.String("metrics", "", "write a deterministic JSON metrics snapshot")
+	flag.Parse()
+
+	cfg.Scheme = core.Scheme(*scheme)
+	cfg.Benchmark = trace.Uniform("loadgen", 32<<10)
+	cfg.Benchmark.CodeSet = 4 << 10
+	cfg.ProtectedBytes = *protected
+	cfg.L2Size = *l2
+	cfg.L2Block = *block
+	cfg.HashMode = *hashmode
+	cfg.HashAlg = *alg
+	cfg.ViolationPolicy = *policy
+	cfg.Functional = true
+	cfg.Seed = *seed
+	switch {
+	case *chunkBlocks > 0:
+		cfg.ChunkBlocks = *chunkBlocks
+	case cfg.Scheme == core.SchemeMulti || cfg.Scheme == core.SchemeIncr:
+		cfg.ChunkBlocks = 2
+	default:
+		cfg.ChunkBlocks = 1
+	}
+
+	var recs []*telemetry.Recorder
+	scfg := shard.Config{Machine: cfg, Shards: *shards, QueueDepth: *queueDepth}
+	if *tracePath != "" || *metricsPath != "" {
+		recs = make([]*telemetry.Recorder, *shards)
+		for i := range recs {
+			recs[i] = telemetry.NewRecorder(telemetry.DefaultEventCap)
+		}
+		scfg.Recorders = recs
+	}
+	s, err := shard.New(scfg)
+	if err != nil {
+		fail(err)
+	}
+
+	span := s.Span()
+	stripe := span / uint64(*workers)
+	if *workers < 1 || *ops < 1 || *batch < 1 || *maxLen < 1 {
+		fail(fmt.Errorf("workers, ops, batch and max-len must be positive"))
+	}
+	if stripe <= uint64(*maxLen) {
+		fail(fmt.Errorf("stripe %d too small for %dB operations; fewer workers or more protected bytes", stripe, *maxLen))
+	}
+
+	type mismatch struct {
+		off  uint64
+		err  error
+		text string
+	}
+	results := make(chan mismatch, *workers)
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		w := w
+		go func() {
+			base := uint64(w) * stripe
+			mirror := make([]byte, stripe)
+			rng := rand.New(rand.NewSource(int64(*seed)<<8 | int64(w)))
+			type pending struct {
+				off  uint64
+				got  []byte
+				want []byte
+			}
+			b := s.NewBatch()
+			var reads []pending
+			collect := func() *mismatch {
+				if err := b.Wait(); err != nil {
+					return &mismatch{err: err}
+				}
+				for _, r := range reads {
+					for i := range r.got {
+						if r.got[i] != r.want[i] {
+							return &mismatch{off: r.off + uint64(i),
+								text: fmt.Sprintf("read %#x, mirror holds %#x", r.got[i], r.want[i])}
+						}
+					}
+				}
+				reads = reads[:0]
+				return nil
+			}
+			for op := 0; op < *ops; op++ {
+				length := 1 + rng.Intn(*maxLen)
+				off := rng.Uint64() % (stripe - uint64(length))
+				if rng.Float64() < *writeFrac {
+					p := make([]byte, length)
+					rng.Read(p)
+					b.Store(base+off, p)
+					copy(mirror[off:], p)
+				} else {
+					// The expected bytes are snapshotted at submit time:
+					// per-shard FIFO order makes earlier writes to the
+					// same addresses visible to this read.
+					r := pending{off: base + off, got: make([]byte, length),
+						want: append([]byte(nil), mirror[off:off+uint64(length)]...)}
+					b.Load(r.off, r.got)
+					reads = append(reads, r)
+				}
+				if (op+1)%*batch == 0 {
+					if m := collect(); m != nil {
+						results <- *m
+						return
+					}
+				}
+			}
+			if m := collect(); m != nil {
+				results <- *m
+				return
+			}
+			results <- mismatch{}
+		}()
+	}
+	failed := false
+	for w := 0; w < *workers; w++ {
+		m := <-results
+		switch {
+		case m.err != nil:
+			fmt.Fprintln(os.Stderr, "loadgen: worker error:", m.err)
+			failed = true
+		case m.text != "":
+			fmt.Fprintf(os.Stderr, "loadgen: MISMATCH at offset %d (shard %d): %s\n",
+				m.off, s.ShardFor(m.off), m.text)
+			failed = true
+		}
+	}
+	trafficElapsed := time.Since(start)
+
+	if *tamper >= 0 && *tamper < s.Shards() {
+		s.WithShard(*tamper, func(m *core.Machine) {
+			m.EvictProtected()
+			m.Adversary().Corrupt(m.ProgAddr(0), 0xFF)
+		})
+	}
+	if *verify && !failed {
+		if err := s.VerifyAll(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: final verification failed:", err)
+			failed = true
+		}
+	}
+	for _, v := range s.Violations() {
+		fmt.Fprintf(os.Stderr, "loadgen: VIOLATION on shard %d: %v\n", v.Shard, v.Err)
+		failed = true
+	}
+
+	s.Close()
+	agg := s.Metrics()
+	if *metricsPath != "" {
+		reg := telemetry.NewRegistry()
+		s.FillRegistry(reg)
+		if err := telemetry.WriteMetricsFile(*metricsPath, reg); err != nil {
+			fail(err)
+		}
+	}
+	if *tracePath != "" {
+		traces := make([]*telemetry.Trace, len(recs))
+		for i, r := range recs {
+			traces[i] = r.Trace
+		}
+		if err := telemetry.WriteTraceFiles(*tracePath, traces...); err != nil {
+			fail(err)
+		}
+	}
+
+	sec := trafficElapsed.Seconds()
+	fmt.Printf("loadgen: scheme=%s hashmode=%s shards=%d workers=%d ops=%d bytes=%d elapsed=%.3fs\n",
+		*scheme, *hashmode, *shards, *workers, agg.OpsSubmitted, agg.BytesSubmitted, sec)
+	fmt.Printf("loadgen: ops_per_sec=%.1f bytes_per_sec=%.1f checks=%d machine_cycles=%d\n",
+		float64(agg.OpsSubmitted)/sec, float64(agg.BytesSubmitted)/sec,
+		agg.Total.IntegrityStats.Checks, agg.Total.Result.Cycles)
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -177,8 +177,22 @@ func (c *Cache) Write(addr uint64, class Class) *Line {
 		c.Stat.WriteMiss[class]++
 		return nil
 	}
+	c.reclass(ln, class)
 	ln.Dirty = true
 	return ln
+}
+
+// reclass moves a resident line to a new traffic class, keeping the
+// per-class residency counters in step so the later eviction decrements
+// the class the line actually holds. Leaving the stale class in place
+// made ResidentLinesClass drift and could drive filledClass negative.
+func (c *Cache) reclass(ln *Line, class Class) {
+	if ln.Class == class {
+		return
+	}
+	c.filledClass[ln.Class]--
+	c.filledClass[class]++
+	ln.Class = class
 }
 
 // Fill inserts a block, evicting the set's LRU line if necessary. It
@@ -187,17 +201,24 @@ func (c *Cache) Write(addr uint64, class Class) *Line {
 func (c *Cache) Fill(addr uint64, class Class, data []byte) Line {
 	ba := c.BlockAddr(addr)
 	set := c.set(ba)
-	victim := 0
+	// The resident-refill scan must cover the whole set before a victim is
+	// chosen: an Invalidate hole sitting at a lower way than the resident
+	// line would otherwise become the victim and the set would hold two
+	// lines for the same block.
 	for i := range set {
 		if set[i].Valid && set[i].Addr == ba {
 			// Refill of a resident line: refresh contents in place.
 			if c.cfg.DataBearing && data != nil {
 				copy(set[i].Data, data)
 			}
+			c.reclass(&set[i], class)
 			c.clock++
 			set[i].lru = c.clock
 			return Line{}
 		}
+	}
+	victim := 0
+	for i := range set {
 		if !set[i].Valid {
 			victim = i
 			break

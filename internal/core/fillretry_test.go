@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"memverify/internal/trace"
+)
+
+// TestFillSurvivesPathConflict regression-tests the bounded refetch in the
+// direct-access paths: in a small direct-mapped L2, a chunk's tree path
+// can land in the same set as the data block it authenticates, so the
+// verification walk evicts the freshly fetched block. The hierarchy must
+// refetch (the walk left the path resident, so the second fill sticks)
+// instead of panicking.
+func TestFillSurvivesPathConflict(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeNaive, SchemeCached, SchemeMulti, SchemeIncr} {
+		t.Run(string(scheme), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.Benchmark = trace.Uniform("conflict", 8<<10)
+			cfg.Benchmark.CodeSet = 4 << 10
+			cfg.ProtectedBytes = 512 << 10
+			cfg.L2Size = 8 << 10
+			cfg.L2Ways = 1
+			cfg.Functional = true
+			if scheme == SchemeMulti || scheme == SchemeIncr {
+				cfg.ChunkBlocks = 2
+			}
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bytes.Repeat([]byte{0xC3}, 16<<10)
+			if err := m.StoreBytes(0, want); err != nil {
+				t.Fatal(err)
+			}
+			m.EvictProtected()
+			got := make([]byte, len(want))
+			if err := m.LoadBytes(0, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("contents corrupted by refetch")
+			}
+			if v := m.Sys.Stat.Violations; v != 0 {
+				t.Errorf("refetch raised %d violations", v)
+			}
+		})
+	}
+}

@@ -286,12 +286,12 @@ func (m *Machine) StoreBytes(off uint64, p []byte) error {
 		a := m.ProgAddr(off)
 		if a%bs == 0 && uint64(len(p)) >= bs {
 			ln := m.L2.Write(a, cache.Data)
-			if ln == nil {
-				m.now = m.Engine.AllocateFullWrite(m.now, a)
-				ln = m.L2.Peek(a)
-				if ln == nil {
+			for try := 0; ln == nil; try++ {
+				if try == fillRetries {
 					panic("core: full-write allocation failed")
 				}
+				m.now = m.Engine.AllocateFullWrite(m.now, a)
+				ln = m.L2.Peek(a)
 			}
 			copy(ln.Data, p[:bs])
 			off += bs
@@ -336,6 +336,14 @@ func (m *Machine) Port() cpu.MemPort { return (*hierarchy)(m) }
 // verification engine.
 type hierarchy Machine
 
+// fillRetries bounds re-fetches when a verification walk evicts the very
+// block it was fetched for — possible in a small, low-associativity L2
+// where a chunk's tree path conflicts with the data block's set. The
+// first walk leaves the path resident, so the refetch sticks immediately;
+// exhausting the bound means the geometry cannot hold one data line plus
+// its path, which is a configuration bug worth crashing on.
+const fillRetries = 4
+
 func (h *hierarchy) mapPC(pc uint64) uint64 { return h.codeBase + pc%h.codeSize }
 
 func (h *hierarchy) mapData(addr uint64) uint64 {
@@ -362,13 +370,14 @@ func (h *hierarchy) l2write(now uint64, addr uint64) uint64 {
 	miss := uint64(0)
 	if ln == nil {
 		miss = 1
-		t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr)
-		if t > done {
-			done = t
-		}
-		ln = h.L2.Write(addr, cache.Data)
-		if ln == nil {
-			panic("core: write-allocate failed to cache the block")
+		for try := 0; ln == nil; try++ {
+			if try == fillRetries {
+				panic("core: write-allocate failed to cache the block")
+			}
+			if t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr); t > done {
+				done = t
+			}
+			ln = h.L2.Write(addr, cache.Data)
 		}
 	}
 	h.tel.Emit(telemetry.TrackL2, telemetry.KindL2Write, now, done, addr, miss)
@@ -392,12 +401,14 @@ func (h *hierarchy) l2data(now uint64, addr uint64, write bool, p []byte) uint64
 		miss := uint64(0)
 		if ln == nil {
 			miss = 1
-			if t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr); t > done {
-				done = t
-			}
-			ln = h.L2.Write(addr, cache.Data)
-			if ln == nil {
-				panic("core: write-allocate failed to cache the block")
+			for try := 0; ln == nil; try++ {
+				if try == fillRetries {
+					panic("core: write-allocate failed to cache the block")
+				}
+				if t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr); t > done {
+					done = t
+				}
+				ln = h.L2.Write(addr, cache.Data)
 			}
 		}
 		copy(ln.Data[addr-ln.Addr:], p)
@@ -409,12 +420,14 @@ func (h *hierarchy) l2data(now uint64, addr uint64, write bool, p []byte) uint64
 	ln := h.L2.Read(addr, cache.Data)
 	if ln == nil {
 		miss = 1
-		if t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr); t > done {
-			done = t
-		}
-		ln = h.L2.Peek(addr)
-		if ln == nil {
-			panic("core: fill failed to cache the block")
+		for try := 0; ln == nil; try++ {
+			if try == fillRetries {
+				panic("core: fill failed to cache the block")
+			}
+			if t := h.Engine.ReadBlock(now+h.Cfg.L2Latency, addr); t > done {
+				done = t
+			}
+			ln = h.L2.Peek(addr)
 		}
 	}
 	copy(p, ln.Data[addr-ln.Addr:uint64(len(ln.Data))])

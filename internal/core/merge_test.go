@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestSnapshotCountsDirectAccesses pins Snapshot: a machine driven only
+// through LoadBytes/StoreBytes must report its activity without a CPU run.
+func TestSnapshotCountsDirectAccesses(t *testing.T) {
+	m, err := NewMachine(smallCfg(SchemeCached))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreBytes(0, bytes.Repeat([]byte{0x21}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	m.EvictProtected() // the reloads below must miss and verify
+	if err := m.LoadBytes(0, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	mt := m.Snapshot()
+	if got := mt.L2Stats.Accesses[0] + mt.L2Stats.Writes[0]; got == 0 {
+		t.Error("snapshot reports no L2 data traffic")
+	}
+	if mt.IntegrityStats.Checks == 0 {
+		t.Error("snapshot reports no verifications")
+	}
+	if mt.Result.Cycles != m.Now() {
+		t.Errorf("snapshot cycles %d, machine clock %d", mt.Result.Cycles, m.Now())
+	}
+	if mt.Violations != 0 {
+		t.Errorf("clean run reports %d violations", mt.Violations)
+	}
+}
+
+// TestMergeMetrics checks the aggregation contract: counters sum, derived
+// rates are recomputed from the summed counters (so merging a run with
+// itself doubles every counter while leaving every rate unchanged).
+func TestMergeMetrics(t *testing.T) {
+	mt, err := Run(smallCfg(SchemeCached))
+	if err != nil {
+		t.Fatal(err)
+	}
+	double := MergeMetrics(mt, mt)
+	if double.Result.Instructions != 2*mt.Result.Instructions {
+		t.Errorf("instructions %d, want %d", double.Result.Instructions, 2*mt.Result.Instructions)
+	}
+	if double.L2DataMisses != 2*mt.L2DataMisses {
+		t.Errorf("L2 data misses %d, want %d", double.L2DataMisses, 2*mt.L2DataMisses)
+	}
+	if double.IntegrityStats.Checks != 2*mt.IntegrityStats.Checks {
+		t.Errorf("checks %d, want %d", double.IntegrityStats.Checks, 2*mt.IntegrityStats.Checks)
+	}
+	if double.BusBytes != 2*mt.BusBytes || double.HashOps != 2*mt.HashOps {
+		t.Errorf("bus bytes %d hash ops %d, want doubles", double.BusBytes, double.HashOps)
+	}
+	for name, pair := range map[string][2]float64{
+		"IPC":            {double.IPC, mt.IPC},
+		"DataMissRate":   {double.DataMissRate, mt.DataMissRate},
+		"L2HashMissRate": {double.L2HashMissRate, mt.L2HashMissRate},
+		"ExtraPerMiss":   {double.ExtraPerMiss, mt.ExtraPerMiss},
+		"BusUtilization": {double.BusUtilization, mt.BusUtilization},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-9 {
+			t.Errorf("%s changed under self-merge: %g vs %g", name, pair[0], pair[1])
+		}
+	}
+	if got := MergeMetrics(); got.Scheme != "" || got.BusBytes != 0 {
+		t.Errorf("empty merge not zero: %+v", got)
+	}
+	if one := MergeMetrics(mt); one.Scheme != mt.Scheme || one.BusBytes != mt.BusBytes {
+		t.Errorf("single merge lost fields")
+	}
+}

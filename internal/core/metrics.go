@@ -83,6 +83,88 @@ func (m *Machine) metrics(res cpu.Result) Metrics {
 	return out
 }
 
+// Snapshot assembles Metrics from the machine's current counters without a
+// CPU run — the reporting path for machines driven directly through
+// LoadBytes/StoreBytes (the shard store's workers). The cycle denominator
+// for rate metrics is the machine's direct-access clock; instruction-side
+// fields (Result, IPC, TLB rates) stay zero because no core executed.
+func (m *Machine) Snapshot() Metrics {
+	return m.metrics(cpu.Result{Cycles: m.now})
+}
+
+// MergeMetrics folds per-machine Metrics into one aggregate: counters sum,
+// and every derived rate is recomputed from the summed counters. The
+// machines are assumed independent (per-shard buses, DRAMs and clocks), so
+// aggregate cycles are total machine-cycles of work — not wall time — and
+// BusUtilization is the cycle-weighted mean of the per-machine buses.
+// Scheme and Benchmark are taken from the first element.
+func MergeMetrics(ms ...Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	out := Metrics{Scheme: ms[0].Scheme, Benchmark: ms[0].Benchmark}
+	var busBusy, itlbWeighted, dtlbWeighted float64
+	for i := range ms {
+		mt := &ms[i]
+		out.Result.Instructions += mt.Result.Instructions
+		out.Result.Cycles += mt.Result.Cycles
+		out.Result.Loads += mt.Result.Loads
+		out.Result.Stores += mt.Result.Stores
+		out.Result.Branches += mt.Result.Branches
+		out.Result.Mispredicts += mt.Result.Mispredicts
+		for c := 0; c < len(mt.L2Stats.Accesses); c++ {
+			out.L2Stats.Accesses[c] += mt.L2Stats.Accesses[c]
+			out.L2Stats.Misses[c] += mt.L2Stats.Misses[c]
+			out.L2Stats.Writes[c] += mt.L2Stats.Writes[c]
+			out.L2Stats.WriteMiss[c] += mt.L2Stats.WriteMiss[c]
+			out.L2Stats.Evictions[c] += mt.L2Stats.Evictions[c]
+			out.L2Stats.WriteBacks[c] += mt.L2Stats.WriteBacks[c]
+		}
+		out.L2DataMisses += mt.L2DataMisses
+		out.L2HashAccesses += mt.L2HashAccesses
+		is, agg := &mt.IntegrityStats, &out.IntegrityStats
+		agg.DemandBlockReads += is.DemandBlockReads
+		agg.ExtraBlockReads += is.ExtraBlockReads
+		agg.ExtraWriteBackReads += is.ExtraWriteBackReads
+		agg.DataBlockWrites += is.DataBlockWrites
+		agg.HashBlockWrites += is.HashBlockWrites
+		agg.Checks += is.Checks
+		agg.Violations += is.Violations
+		agg.MACUpdates += is.MACUpdates
+		agg.Evictions += is.Evictions
+		agg.Retries += is.Retries
+		agg.RetriesTransient += is.RetriesTransient
+		agg.RetriesPersistent += is.RetriesPersistent
+		out.BusBytes += mt.BusBytes
+		out.BusDataBytes += mt.BusDataBytes
+		out.BusHashBytes += mt.BusHashBytes
+		out.HashOps += mt.HashOps
+		out.HashBytesHashed += mt.HashBytesHashed
+		out.Violations += mt.Violations
+		out.DRAMReads += mt.DRAMReads
+		out.DRAMWrites += mt.DRAMWrites
+		busBusy += mt.BusUtilization * float64(mt.Result.Cycles)
+		itlbWeighted += mt.ITLBMissRate * float64(mt.Result.Instructions)
+		dtlbWeighted += mt.DTLBMissRate * float64(mt.Result.Instructions)
+	}
+	out.IPC = out.Result.IPC()
+	out.DataMissRate = out.L2Stats.MissRate(cache.Data)
+	out.L2HashMissRate = out.L2Stats.MissRate(cache.Hash)
+	if out.Result.Cycles > 0 {
+		out.BusUtilization = busBusy / float64(out.Result.Cycles)
+	}
+	if out.Result.Instructions > 0 {
+		out.ITLBMissRate = itlbWeighted / float64(out.Result.Instructions)
+		out.DTLBMissRate = dtlbWeighted / float64(out.Result.Instructions)
+	}
+	if out.L2DataMisses > 0 {
+		readPath := out.IntegrityStats.ExtraBlockReads - out.IntegrityStats.ExtraWriteBackReads
+		out.ExtraPerMiss = float64(readPath) / float64(out.L2DataMisses)
+		out.ExtraPerMissAll = float64(out.IntegrityStats.ExtraBlockReads) / float64(out.L2DataMisses)
+	}
+	return out
+}
+
 // Run builds a machine for cfg, executes it, and returns the metrics.
 func Run(cfg Config) (Metrics, error) {
 	m, err := NewMachine(cfg)

@@ -151,8 +151,12 @@ func (e *Cached) AllocateFullWrite(now uint64, addr uint64) uint64 {
 	s := e.sys
 	if s.Protected(addr) && s.chunkBlocks() > 1 {
 		done := e.ReadBlock(now, addr)
-		if ln := s.L2.Write(s.L2.BlockAddr(addr), cache.Data); ln == nil {
-			panic("integrity: write-allocate failed to cache the block")
+		ba := s.L2.BlockAddr(addr)
+		for try := 0; s.L2.Write(ba, cache.Data) == nil; try++ {
+			if try == fillRetries {
+				panic("integrity: write-allocate failed to cache the block")
+			}
+			done = e.ReadBlock(done, addr)
 		}
 		return done
 	}
@@ -378,12 +382,14 @@ func (e *Cached) writeValue(now uint64, addr uint64, val []byte) (done uint64, a
 			return now + s.L2Latency, false
 		}
 		allocated = true
-		img, ready, _ := e.readAndCheckChunk(now, c, noDemand)
-		e.fillChunk(ready, c, img)
-		done = ready
-		ln = s.L2.Write(ba, cclass)
-		if ln == nil {
-			panic("integrity: write-allocate failed to cache the slot block (engine bug)")
+		for try := 0; ln == nil; try++ {
+			if try == fillRetries {
+				panic("integrity: write-allocate failed to cache the slot block (engine bug)")
+			}
+			img, ready, _ := e.readAndCheckChunk(now, c, noDemand)
+			e.fillChunk(ready, c, img)
+			done = ready
+			ln = s.L2.Write(ba, cclass)
 		}
 	}
 	if s.Trace != nil {

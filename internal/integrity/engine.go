@@ -74,17 +74,28 @@ func (e *Base) AllocateFullWrite(now uint64, addr uint64) uint64 {
 	return allocateFullWrite(e.sys, now, addr, e.Evict)
 }
 
+// fillRetries bounds re-installs when a victim's write-back walk evicts
+// the very line being allocated — possible in a small, low-associativity
+// L2 where a chunk's tree path conflicts with the data set. The walk
+// leaves the path resident, so the retry converges immediately; running
+// out means the geometry cannot hold one line plus its path.
+const fillRetries = 4
+
 // allocateFullWrite installs a dirty, about-to-be-overwritten line with no
 // memory traffic; shared by every engine whose chunk equals one block.
 func allocateFullWrite(s *System, now uint64, addr uint64, evict func(uint64, cache.Line) uint64) uint64 {
 	ba := s.L2.BlockAddr(addr)
-	if ev := s.L2.Fill(ba, cache.Data, nil); ev.Valid && ev.Dirty {
-		evict(now, ev)
+	for try := 0; ; try++ {
+		if ev := s.L2.Fill(ba, cache.Data, nil); ev.Valid && ev.Dirty {
+			evict(now, ev)
+		}
+		if s.L2.Write(ba, cache.Data) != nil {
+			return now + s.L2Latency
+		}
+		if try == fillRetries {
+			panic("integrity: full-write allocation failed to cache the block")
+		}
 	}
-	if ln := s.L2.Write(ba, cache.Data); ln == nil {
-		panic("integrity: full-write allocation failed to cache the block")
-	}
-	return now + s.L2Latency
 }
 
 // Flush implements Engine.

@@ -1,0 +1,491 @@
+// Package shard provides a concurrent, sharded verification store: a
+// protected region partitioned across N independent core.Machine
+// instances, each with its own hash tree, L2, bus and DRAM, fronted by a
+// router that maps addresses to shards. Every shard is driven by a single
+// worker goroutine draining a bounded request queue, which preserves the
+// machines' single-threaded contract while letting callers submit
+// asynchronously and pipeline across shards.
+//
+// The model is the natural scale-out of the paper's single-machine design:
+// each shard verifies a smaller region, so its tree is shallower and its
+// (private) L2 holds a larger fraction of the tree — the cache-ability
+// lever of §5.3 applied per shard. Aggregated metrics sum the per-shard
+// counters and recompute derived rates, mirroring how the paper reports a
+// single machine.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"memverify/internal/cache"
+	"memverify/internal/core"
+	"memverify/internal/integrity"
+	"memverify/internal/stats"
+	"memverify/internal/telemetry"
+)
+
+// Config describes a sharded store. Machine is the template configuration:
+// its ProtectedBytes is the TOTAL protected size, divided evenly across
+// Shards (so each machine protects ProtectedBytes/Shards and the benchmark
+// footprint must fit in one shard's region). The template must be
+// functional — the store serves real bytes.
+type Config struct {
+	Machine core.Config
+
+	// Shards is the number of independent machines (>= 1).
+	Shards int
+
+	// QueueDepth bounds each shard's request queue; submits block when the
+	// queue is full (backpressure). Defaults to 64.
+	QueueDepth int
+
+	// Recorders, when non-nil, attaches one telemetry recorder per shard
+	// (len must equal Shards). Each shard's trace renders as its own
+	// process in the merged Chrome export (telemetry.WriteChromeTraces).
+	Recorders []*telemetry.Recorder
+}
+
+// Violation is one detected integrity violation attributed to a shard.
+type Violation struct {
+	Shard int
+	Err   *integrity.ViolationError
+}
+
+// request is one unit of work on a shard's queue: either a byte transfer
+// belonging to a Batch, or a control call with its own completion channel.
+type request struct {
+	off   uint64
+	data  []byte
+	write bool
+	batch *Batch
+
+	call func(*core.Machine) error
+	done chan<- error
+}
+
+type worker struct {
+	s      *Store
+	idx    int
+	m      *core.Machine
+	reqs   chan request
+	exited chan struct{}
+}
+
+// Store routes byte operations across the shards and aggregates their
+// results. Submits and barriers may run from many goroutines; Close must
+// not race with them.
+type Store struct {
+	shards    []*worker
+	shardSpan uint64 // bytes of program data per shard
+	span      uint64 // total program data bytes
+	halt      bool   // template policy is "halt"
+	closed    atomic.Bool
+
+	ops   atomic.Uint64
+	bytes atomic.Uint64
+
+	mu         sync.Mutex
+	violations []Violation
+	halted     []bool
+}
+
+// New assembles a store of cfg.Shards machines. Shard i owns global
+// offsets [i*ShardSpan, (i+1)*ShardSpan).
+func New(cfg Config) (*Store, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: need at least one shard, got %d", cfg.Shards)
+	}
+	if !cfg.Machine.Functional {
+		return nil, fmt.Errorf("shard: the store serves real bytes; Machine.Functional is required")
+	}
+	if cfg.Recorders != nil && len(cfg.Recorders) != cfg.Shards {
+		return nil, fmt.Errorf("shard: %d recorders for %d shards", len(cfg.Recorders), cfg.Shards)
+	}
+	per := cfg.Machine
+	per.ProtectedBytes = cfg.Machine.ProtectedBytes / uint64(cfg.Shards)
+	if per.ProtectedBytes == 0 {
+		return nil, fmt.Errorf("shard: %d bytes split %d ways leaves nothing to protect",
+			cfg.Machine.ProtectedBytes, cfg.Shards)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+
+	s := &Store{
+		shards: make([]*worker, cfg.Shards),
+		halt:   cfg.Machine.ViolationPolicy == "halt",
+		halted: make([]bool, cfg.Shards),
+	}
+	for i := range s.shards {
+		c := per
+		if cfg.Recorders != nil {
+			// A distinct benchmark name per shard names the trace process.
+			c.Telemetry = cfg.Recorders[i]
+			c.Benchmark.Name = fmt.Sprintf("%s.s%d", per.Benchmark.Name, i)
+		}
+		m, err := core.NewMachine(c)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		i := i
+		m.ObserveViolations(func(v *integrity.ViolationError) { s.noteViolation(i, v) })
+		s.shards[i] = &worker{s: s, idx: i, m: m, reqs: make(chan request, depth), exited: make(chan struct{})}
+	}
+	s.shardSpan = s.shards[0].m.ProgSpan()
+	s.span = s.shardSpan * uint64(cfg.Shards)
+	for _, w := range s.shards {
+		go w.run()
+	}
+	return s, nil
+}
+
+// run drains one shard's queue on its dedicated goroutine — the only
+// goroutine that ever touches the shard's machine while the store is open.
+func (w *worker) run() {
+	defer close(w.exited)
+	for req := range w.reqs {
+		if req.call != nil {
+			req.done <- req.call(w.m)
+			continue
+		}
+		var err error
+		if req.write {
+			err = w.m.StoreBytes(req.off, req.data)
+		} else {
+			err = w.m.LoadBytes(req.off, req.data)
+		}
+		if err != nil {
+			req.batch.note(w.s.wrap(w.idx, err))
+		}
+		req.batch.wg.Done()
+	}
+}
+
+// noteViolation is every machine's violation observer; it runs on the
+// owning shard's worker goroutine.
+func (s *Store) noteViolation(i int, v *integrity.ViolationError) {
+	s.mu.Lock()
+	s.violations = append(s.violations, Violation{Shard: i, Err: v})
+	if s.halt {
+		s.halted[i] = true
+	}
+	s.mu.Unlock()
+}
+
+// Shards returns the shard count; Span the total program data bytes;
+// ShardSpan the bytes each shard serves.
+func (s *Store) Shards() int       { return len(s.shards) }
+func (s *Store) Span() uint64      { return s.span }
+func (s *Store) ShardSpan() uint64 { return s.shardSpan }
+
+// ShardFor returns the shard owning global offset off (offsets wrap
+// modulo Span, mirroring Machine.ProgAddr).
+func (s *Store) ShardFor(off uint64) int { return int((off % s.span) / s.shardSpan) }
+
+// ShardRange returns the global offset range [lo, hi) shard i owns.
+func (s *Store) ShardRange(i int) (lo, hi uint64) {
+	return uint64(i) * s.shardSpan, uint64(i+1) * s.shardSpan
+}
+
+// Batch collects asynchronously submitted operations; Wait blocks for all
+// of them and returns their joined errors. A batch may be reused after
+// Wait returns. Operations on the same address (same shard) complete in
+// submission order; operations on different shards are concurrent.
+type Batch struct {
+	s  *Store
+	wg sync.WaitGroup
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// NewBatch starts an empty batch.
+func (s *Store) NewBatch() *Batch { return &Batch{s: s} }
+
+func (b *Batch) note(err error) {
+	b.mu.Lock()
+	b.errs = append(b.errs, err)
+	b.mu.Unlock()
+}
+
+// Load submits a verified read of len(p) bytes at global offset off. p
+// must stay untouched until Wait returns.
+func (b *Batch) Load(off uint64, p []byte) { b.s.submit(b, off, p, false) }
+
+// Store submits a write of p at global offset off.
+func (b *Batch) Store(off uint64, p []byte) { b.s.submit(b, off, p, true) }
+
+// Wait blocks until every submitted operation completed and returns the
+// joined per-shard errors (each wrapped with the shard that produced it;
+// errors.Is(err, core.ErrHalted) still works through the wrapping).
+func (b *Batch) Wait() error {
+	b.wg.Wait()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	err := errors.Join(b.errs...)
+	b.errs = nil
+	return err
+}
+
+// submit routes one operation, splitting spans that cross shard
+// boundaries. Blocks when a target queue is full (backpressure).
+func (s *Store) submit(b *Batch, off uint64, p []byte, write bool) {
+	if s.closed.Load() {
+		panic("shard: submit on closed store")
+	}
+	s.ops.Add(1)
+	s.bytes.Add(uint64(len(p)))
+	for len(p) > 0 {
+		off %= s.span
+		sh := int(off / s.shardSpan)
+		local := off - uint64(sh)*s.shardSpan
+		n := s.shardSpan - local
+		if n > uint64(len(p)) {
+			n = uint64(len(p))
+		}
+		b.wg.Add(1)
+		s.shards[sh].reqs <- request{off: local, data: p[:n:n], write: write, batch: b}
+		off += n
+		p = p[n:]
+	}
+}
+
+// LoadBytes is the synchronous form of Batch.Load: submit, wait, return.
+func (s *Store) LoadBytes(off uint64, p []byte) error {
+	b := s.NewBatch()
+	b.Load(off, p)
+	return b.Wait()
+}
+
+// StoreBytes is the synchronous form of Batch.Store.
+func (s *Store) StoreBytes(off uint64, p []byte) error {
+	b := s.NewBatch()
+	b.Store(off, p)
+	return b.Wait()
+}
+
+// do runs f on shard i's worker goroutine and returns its error. After
+// Close the workers are gone and f runs directly — safe because Close
+// must not race with other calls.
+func (s *Store) do(i int, f func(*core.Machine) error) error {
+	if s.closed.Load() {
+		return f(s.shards[i].m)
+	}
+	done := make(chan error, 1)
+	s.shards[i].reqs <- request{call: f, done: done}
+	return <-done
+}
+
+// doAll runs f on every shard concurrently (or directly, after Close) and
+// joins the per-shard errors, each wrapped with its shard index.
+func (s *Store) doAll(f func(int, *core.Machine) error) error {
+	n := len(s.shards)
+	errs := make([]error, n)
+	if s.closed.Load() {
+		for i, w := range s.shards {
+			errs[i] = s.wrap(i, f(i, w.m))
+		}
+		return errors.Join(errs...)
+	}
+	dones := make([]chan error, n)
+	for i, w := range s.shards {
+		i, m := i, w.m
+		dones[i] = make(chan error, 1)
+		w.reqs <- request{call: func(*core.Machine) error { return f(i, m) }, done: dones[i]}
+	}
+	for i := range dones {
+		errs[i] = s.wrap(i, <-dones[i])
+	}
+	return errors.Join(errs...)
+}
+
+func (s *Store) wrap(i int, err error) error {
+	if err == nil {
+		return nil
+	}
+	lo, hi := s.ShardRange(i)
+	return fmt.Errorf("shard %d [%#x,%#x): %w", i, lo, hi, err)
+}
+
+// Flush drains every shard's dirty cached state through its engine — the
+// cross-shard cryptographic barrier (§5.8 per shard, all shards reaching
+// it before Flush returns).
+func (s *Store) Flush() error {
+	return s.doAll(func(_ int, m *core.Machine) error {
+		m.Flush()
+		return nil
+	})
+}
+
+// VerifyAll flushes and then re-reads every protected block of every
+// shard through the verification engine. A violation (or a halted shard)
+// surfaces as that shard's wrapped error; healthy shards verify clean
+// regardless — one halted shard never wedges its neighbors.
+func (s *Store) VerifyAll() error {
+	return s.doAll(func(_ int, m *core.Machine) error {
+		m.Flush()
+		bs := uint64(m.Cfg.L2Block)
+		buf := make([]byte, bs)
+		span := m.ProgSpan()
+		for off := uint64(0); off < span; off += bs {
+			n := bs
+			if off+n > span {
+				n = span - off
+			}
+			if err := m.LoadBytes(off, buf[:n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// WithShard runs f against shard i's machine on that shard's worker
+// goroutine, after every previously enqueued request on that shard has
+// drained — the safe way to attach an adversary or inspect machine state
+// while the store is live.
+func (s *Store) WithShard(i int, f func(*core.Machine)) {
+	_ = s.do(i, func(m *core.Machine) error { f(m); return nil })
+}
+
+// Violations returns every violation detected so far, in detection order,
+// each attributed to its shard.
+func (s *Store) Violations() []Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Violation, len(s.violations))
+	copy(out, s.violations)
+	return out
+}
+
+// Halted reports whether shard i tripped the halt policy.
+func (s *Store) Halted(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.halted[i]
+}
+
+// Close shuts the workers down after draining their queues. The store
+// stays readable for metrics (and direct do/doAll calls run inline), but
+// further submits panic. Close must not be called concurrently with
+// submits or barriers.
+func (s *Store) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for _, w := range s.shards {
+		close(w.reqs)
+	}
+	for _, w := range s.shards {
+		<-w.exited
+	}
+}
+
+// Aggregate is the store-wide view of the per-shard metrics.
+type Aggregate struct {
+	Shards   int
+	PerShard []core.Metrics
+	// Total sums the per-shard counters and recomputes derived rates
+	// (core.MergeMetrics); cycles are total machine-cycles of work, not
+	// wall time — the shards' clocks are independent.
+	Total core.Metrics
+	// PathExtras merges the shards' read-path extra-blocks histograms
+	// (nil when no shard observed a verified read path).
+	PathExtras *stats.Histogram
+	// OpsSubmitted and BytesSubmitted count caller-level operations
+	// (before boundary splitting).
+	OpsSubmitted   uint64
+	BytesSubmitted uint64
+}
+
+// Metrics snapshots every shard (on its own worker, so in-flight requests
+// drain first) and aggregates.
+func (s *Store) Metrics() Aggregate {
+	n := len(s.shards)
+	per := make([]core.Metrics, n)
+	hists := make([]*stats.Histogram, n)
+	_ = s.doAll(func(i int, m *core.Machine) error {
+		per[i] = m.Snapshot()
+		if h := m.Sys.PathExtras; h != nil {
+			hists[i] = h.Clone()
+		}
+		return nil
+	})
+	agg := Aggregate{
+		Shards:         n,
+		PerShard:       per,
+		Total:          core.MergeMetrics(per...),
+		OpsSubmitted:   s.ops.Load(),
+		BytesSubmitted: s.bytes.Load(),
+	}
+	for _, h := range hists {
+		if h == nil {
+			continue
+		}
+		if agg.PathExtras == nil {
+			agg.PathExtras = h
+		} else {
+			agg.PathExtras.Merge(h)
+		}
+	}
+	return agg
+}
+
+// FillRegistry snapshots every shard into reg and returns the aggregate.
+// Counters, histograms and series accumulate across shards (in shard
+// order, so the output is deterministic); the scalar gauges are then
+// overwritten with store-wide values so they describe the whole store
+// rather than the last shard filled.
+func (s *Store) FillRegistry(reg *telemetry.Registry) Aggregate {
+	n := len(s.shards)
+	per := make([]core.Metrics, n)
+	hists := make([]*stats.Histogram, n)
+	var hashLines, totalLines uint64
+	for i := 0; i < n; i++ {
+		_ = s.do(i, func(m *core.Machine) error {
+			mt := m.Snapshot()
+			per[i] = mt
+			if h := m.Sys.PathExtras; h != nil {
+				hists[i] = h.Clone()
+			}
+			m.FillRegistry(reg, &mt)
+			hashLines += uint64(m.L2.ResidentLinesClass(cache.Hash))
+			totalLines += uint64(m.Cfg.L2Size / m.Cfg.L2Block)
+			return nil
+		})
+	}
+	agg := Aggregate{
+		Shards:         n,
+		PerShard:       per,
+		Total:          core.MergeMetrics(per...),
+		OpsSubmitted:   s.ops.Load(),
+		BytesSubmitted: s.bytes.Load(),
+	}
+	for _, h := range hists {
+		if h == nil {
+			continue
+		}
+		if agg.PathExtras == nil {
+			agg.PathExtras = h
+		} else {
+			agg.PathExtras.Merge(h)
+		}
+	}
+	reg.Add("shard.count", uint64(n))
+	reg.Add("shard.ops_submitted", agg.OpsSubmitted)
+	reg.Add("shard.bytes_submitted", agg.BytesSubmitted)
+	t := &agg.Total
+	reg.SetGauge("cpu.ipc", t.IPC)
+	reg.SetGauge("l2.data_miss_rate", t.DataMissRate)
+	reg.SetGauge("l2.hash_miss_rate", t.L2HashMissRate)
+	reg.SetGauge("bus.utilization", t.BusUtilization)
+	reg.SetGauge("integrity.extra_per_miss", t.ExtraPerMiss)
+	if totalLines > 0 {
+		reg.SetGauge("l2.hash_residency", float64(hashLines)/float64(totalLines))
+	}
+	return agg
+}

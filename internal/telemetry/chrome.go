@@ -28,36 +28,53 @@ type exportEvent struct {
 // non-overlapping, timestamp-sorted events. The output is deterministic:
 // no map iteration feeds the encoder.
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
-	evs, firstSeq := t.retained()
+	return WriteChromeTraces(w, t)
+}
 
-	// Resolve process names. Marks made before the retained window still
-	// apply: the latest mark at or before firstSeq owns the window start.
+// WriteChromeTraces merges several traces into one Chrome trace-event
+// file, giving each trace its own disjoint pid range — the per-shard
+// export of the shard store, where every shard owns a single-goroutine
+// Trace and renders as one process. Traces contribute their BeginProcess
+// marks in argument order, so pids (and Perfetto's process sort) follow
+// shard order.
+func WriteChromeTraces(w io.Writer, traces ...*Trace) error {
 	type proc struct{ name string }
-	procs := []proc{{name: "machine"}}
-	marks := []procMark(nil)
-	if t != nil {
-		marks = t.procs
-	}
-	pidAt := func(seq uint64) int { return 0 }
-	if len(marks) > 0 {
-		procs = procs[:0]
-		for _, m := range marks {
-			procs = append(procs, proc{name: m.Name})
-		}
-		pidAt = func(seq uint64) int {
-			// Last mark with Seq <= seq; events before the first mark
-			// fold into it.
-			i := sort.Search(len(marks), func(i int) bool { return marks[i].Seq > seq })
-			if i == 0 {
-				return 0
-			}
-			return i - 1
-		}
-	}
+	var procs []proc
+	var out []exportEvent
+	for _, t := range traces {
+		evs, firstSeq := t.retained()
 
-	out := make([]exportEvent, len(evs))
-	for i, ev := range evs {
-		out[i] = exportEvent{Event: ev, seq: firstSeq + uint64(i), pid: pidAt(firstSeq + uint64(i))}
+		// Resolve this trace's process names. Marks made before the
+		// retained window still apply: the latest mark at or before
+		// firstSeq owns the window start.
+		base := len(procs)
+		marks := []procMark(nil)
+		if t != nil {
+			marks = t.procs
+		}
+		pidAt := func(seq uint64) int { return base }
+		if len(marks) > 0 {
+			for _, m := range marks {
+				procs = append(procs, proc{name: m.Name})
+			}
+			pidAt = func(seq uint64) int {
+				// Last mark with Seq <= seq; events before the first mark
+				// fold into it.
+				i := sort.Search(len(marks), func(i int) bool { return marks[i].Seq > seq })
+				if i == 0 {
+					return base
+				}
+				return base + i - 1
+			}
+		} else {
+			procs = append(procs, proc{name: "machine"})
+		}
+		for i, ev := range evs {
+			out = append(out, exportEvent{Event: ev, seq: firstSeq + uint64(i), pid: pidAt(firstSeq + uint64(i))})
+		}
+	}
+	if len(procs) == 0 {
+		procs = []proc{{name: "machine"}}
 	}
 
 	// Greedy lane assignment per (pid, track): sort by begin time, place

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestWriteChromeTracesMergesProcesses pins the per-shard export: each
+// trace renders as its own process (disjoint pid range, BeginProcess names
+// preserved in argument order) and the merged document still passes the
+// nesting/monotonicity validator.
+func TestWriteChromeTracesMergesProcesses(t *testing.T) {
+	mk := func(name string, base uint64) *Trace {
+		tr := NewTrace(64)
+		tr.BeginProcess(name)
+		for i := uint64(0); i < 5; i++ {
+			tr.Emit(TrackL2, KindL2Read, base+10*i, base+10*i+4, i, 0)
+			tr.Emit(TrackBus, KindBusGrant, base+10*i, base+10*i+8, 64, 1)
+		}
+		return tr
+	}
+	traces := []*Trace{mk("shard0", 0), mk("shard1", 100), mk("shard2", 50)}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraces(&buf, traces...); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for pid, name := range []string{"shard0", "shard1", "shard2"} {
+		want := fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"%s"}}`, pid, name)
+		if !strings.Contains(out, want) {
+			t.Errorf("merged trace missing process metadata for %s (pid %d)", name, pid)
+		}
+	}
+	spans, err := ValidateChromeTrace(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	if spans != 30 {
+		t.Errorf("merged trace has %d spans, want 30", spans)
+	}
+}
+
+// TestWriteChromeTracesSingleMatchesMethod keeps the single-trace method
+// byte-identical to the variadic path, and an empty call still emits a
+// parseable (metadata-only) document like the empty-trace case always has.
+func TestWriteChromeTracesSingleMatchesMethod(t *testing.T) {
+	tr := NewTrace(16)
+	tr.BeginProcess("m")
+	tr.Emit(TrackDRAM, KindDRAMRead, 0, 7, 64, 0)
+
+	var a, b bytes.Buffer
+	if err := tr.WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraces(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("method and variadic exports differ")
+	}
+
+	var empty bytes.Buffer
+	if err := WriteChromeTraces(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), `"process_name"`) {
+		t.Error("empty export lost its metadata skeleton")
+	}
+}

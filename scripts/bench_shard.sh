@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Measures sharded-store throughput with cmd/loadgen at 1, 2, 4 and 8
+# shards over a fixed 8 MiB protected region and writes BENCH_shard.json.
+# Each point is the best of REPS runs (wall-clock ops/sec on a shared
+# host is noisy; the underlying effect — shallower per-shard trees and N×
+# aggregate L2 — shows up in the deterministic checks/machine_cycles
+# columns, which strictly decrease with the shard count). The sweep fails
+# loudly if ops/sec is not monotonically non-decreasing from 1 to 4
+# shards. Knobs: OPS (per worker), REPS, OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OPS=${OPS:-20000}
+REPS=${REPS:-3}
+OUT=${OUT:-BENCH_shard.json}
+
+bin=$(mktemp -t loadgen.XXXXXX)
+trap 'rm -f "$bin"' EXIT
+go build -o "$bin" ./cmd/loadgen
+
+rows=""
+prev=0
+prev_n=0
+for n in 1 2 4 8; do
+  best=0 checks=0 cycles=0
+  for _ in $(seq "$REPS"); do
+    out=$("$bin" -shards "$n" -workers 2 -ops "$OPS" -seed 3 -verify=false)
+    ops=$(printf '%s\n' "$out" | grep -o 'ops_per_sec=[0-9.]*' | cut -d= -f2)
+    if awk -v a="$ops" -v b="$best" 'BEGIN { exit !(a > b) }'; then
+      best=$ops
+      checks=$(printf '%s\n' "$out" | grep -o 'checks=[0-9]*' | cut -d= -f2)
+      cycles=$(printf '%s\n' "$out" | grep -o 'machine_cycles=[0-9]*' | cut -d= -f2)
+    fi
+  done
+  best=$(awk -v v="$best" 'BEGIN { printf "%.1f", v }')
+  echo "shards=$n: $best ops/sec (checks $checks, machine cycles $cycles)"
+  rows="$rows    {\"checks\": $checks, \"machine_cycles\": $cycles, \"ops_per_sec\": $best, \"shards\": $n},\n"
+  if [ "$n" -le 4 ] && awk -v p="$prev" -v c="$best" 'BEGIN { exit !(c < p) }'; then
+    echo "FAIL: ops/sec fell from $prev ($prev_n shards) to $best ($n shards)" >&2
+    exit 1
+  fi
+  prev=$best
+  prev_n=$n
+done
+rows=$(printf '%b' "$rows" | sed '$ s/,$//')
+
+cat >"$OUT" <<EOF
+{
+  "benchmark": "cmd/loadgen -workers 2 -ops $OPS -seed 3 -verify=false, best of $REPS",
+  "points": [
+$rows
+  ],
+  "workload": "mixed 50/50 read-write, 8 MiB protected total, scheme c, fnv128, 256 KiB L2 per shard"
+}
+EOF
+echo "wrote $OUT"
