@@ -35,6 +35,17 @@ go run ./cmd/chaos -n 25 -seed 7 >/dev/null
 go test -run 'TestCampaignAcceptance|TestCampaignDeterministic' ./internal/chaos/
 echo "chaos campaign gate OK"
 
+# Prefetch gate: tree-ancestor prefetching and the dedicated verification
+# cache must be semantically invisible — byte-identical delivered data and
+# roots against a prefetch-off shared-L2 machine for every scheme × hash
+# mode (race-clean, since the sharded store runs prefetching machines
+# concurrently) — and a chaos mini-campaign with both features enabled
+# must keep 100% detection with zero clean-run false positives.
+go test -race -run 'TestPrefetchEquivalence|TestDeterministicEmissions' \
+  ./internal/core/ ./internal/prefetch/
+go run ./cmd/chaos -n 25 -seed 11 -prefetch -verify-cache 32 -verify-assoc 4 >/dev/null
+echo "prefetch equivalence gate OK"
+
 # Sharded-store gate: the concurrent store must stay race-clean and
 # byte-identical to a single machine under every scheme, and the loadgen
 # smoke must verify clean traffic (it exits nonzero on any violation or
@@ -81,6 +92,14 @@ go run ./cmd/figures -fig5 -n 10000 -warmup 5000 \
   -trace "$tmp/fig5.trace.json" -metrics "$tmp/fig5.metrics.json" >/dev/null
 go run ./cmd/tracecheck -min-spans 1000 \
   -trace "$tmp/fig5.trace.json" -metrics "$tmp/fig5.metrics.json" >/dev/null
+# A prefetch-enabled run must populate the prefetch lane, and that lane
+# must hold strictly disjoint, monotonic spans (tracecheck enforces the
+# stricter overlap-free rule for it).
+go run ./cmd/simulate -scheme c -bench gzip -n 50000 -l2 16384 \
+  -prefetch -verify-cache 64 -verify-assoc 4 \
+  -trace "$tmp/pf.trace.json" -metrics "$tmp/pf.metrics.json" >/dev/null
+go run ./cmd/tracecheck -require-lane prefetch \
+  -trace "$tmp/pf.trace.json" -metrics "$tmp/pf.metrics.json" >/dev/null
 echo "telemetry trace/metrics gate OK"
 
 # Telemetry overhead gate: with no recorder attached the emission sites
@@ -89,10 +108,12 @@ echo "telemetry trace/metrics gate OK"
 # uninstrumented BenchmarkSimulatorThroughput/c on the same workload.
 go test -run 'ZeroAllocs|TestDisabledTelemetryAllocsAreConstructionOnly' \
   ./internal/telemetry/ .
+# Min over three repetitions: the least-noise estimate for a deterministic
+# workload, so shared-machine jitter does not flip the 2% verdict.
 go test -run '^$' -bench '(BenchmarkSimulatorThroughput|BenchmarkTelemetryOverhead)/(c$|disabled)' \
-  -benchtime 50x . | awk '
-  $1 ~ /^BenchmarkSimulatorThroughput\/c(-[0-9]+)?$/      { base = $3 }
-  $1 ~ /^BenchmarkTelemetryOverhead\/disabled(-[0-9]+)?$/ { dis = $3 }
+  -benchtime 50x -count 3 . | awk '
+  $1 ~ /^BenchmarkSimulatorThroughput\/c(-[0-9]+)?$/      { if (base == "" || $3 < base) base = $3 }
+  $1 ~ /^BenchmarkTelemetryOverhead\/disabled(-[0-9]+)?$/ { if (dis == "" || $3 < dis) dis = $3 }
   END {
     if (base == "" || dis == "") { print "FAIL: benchmark output missing"; exit 1 }
     delta = (dis - base) / base

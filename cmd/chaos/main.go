@@ -21,6 +21,7 @@ import (
 
 	"memverify/internal/chaos"
 	"memverify/internal/core"
+	"memverify/internal/profiling"
 	"memverify/internal/stats"
 	"memverify/internal/telemetry"
 )
@@ -39,11 +40,20 @@ func main() {
 		jsonPath  = flag.String("json", "", "write full reports to this JSON file")
 		trace     = flag.String("trace", "", "write a Chrome trace-event JSON of the campaign (open in Perfetto)")
 		metrics   = flag.String("metrics", "", "write a deterministic JSON metrics snapshot of the campaign")
+		pf        = flag.Bool("prefetch", false, "enable the tree-ancestor prefetcher on every injection's machine")
+		vcLines   = flag.Int("verify-cache", 0, "dedicated verification cache size in L2-block lines (0 = share the L2)")
+		vcAssoc   = flag.Int("verify-assoc", 0, "dedicated verification cache associativity (0 = the L2's)")
 	)
+	prof := profiling.AddFlags()
 	flag.Parse()
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	var csvOut, jsonOut *os.File
-	var err error
 	if *csvPath != "" {
 		if csvOut, err = os.Create(*csvPath); err != nil {
 			fatal(err)
@@ -82,6 +92,9 @@ func main() {
 		cfg.WarmAccesses = *warm
 		cfg.PostAccesses = *post
 		cfg.IncludeTransient = *transient
+		cfg.Prefetch = *pf
+		cfg.VerifyCacheLines = *vcLines
+		cfg.VerifyCacheAssoc = *vcAssoc
 		cfg.Telemetry = rec
 
 		clean, err := chaos.CleanViolations(cfg)

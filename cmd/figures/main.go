@@ -33,7 +33,7 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "print Figure 6 (hash throughput)")
 	fig7 := flag.Bool("fig7", false, "print Figure 7 (buffer size)")
 	fig8 := flag.Bool("fig8", false, "print Figure 8 (m and i schemes)")
-	ablations := flag.Bool("ablations", false, "print the ablation studies (arity, hash latency, associativity, tree depth)")
+	ablations := flag.Bool("ablations", false, "print the ablation studies (verify cache, arity, hash latency, associativity, tree depth)")
 	functional := flag.Bool("functional", false, "run every point functionally (real data movement; small protected region)")
 	hashmode := flag.String("hashmode", "", "digest execution for functional points: full, timing, memo")
 	protected := flag.Uint64("protected", 0, "override the protected-region size in bytes (0 = per-figure default)")
@@ -124,6 +124,7 @@ func main() {
 		fmt.Println(p.Fig8())
 	}
 	if *ablations {
+		fmt.Println(p.AblationVerifyCache())
 		fmt.Println(p.AblationArity())
 		fmt.Println(p.AblationHashLatency())
 		fmt.Println(p.AblationAssoc())

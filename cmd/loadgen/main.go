@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"memverify/internal/core"
+	"memverify/internal/prefetch"
+	"memverify/internal/profiling"
 	"memverify/internal/shard"
 	"memverify/internal/telemetry"
 	"memverify/internal/trace"
@@ -50,7 +52,17 @@ func main() {
 	verify := flag.Bool("verify", true, "re-read and verify the whole region after the traffic phase")
 	tracePath := flag.String("trace", "", "write a merged Chrome trace (one process per shard)")
 	metricsPath := flag.String("metrics", "", "write a deterministic JSON metrics snapshot")
+	pf := flag.Bool("prefetch", false, "enable the tree-ancestor prefetcher on every shard's machine")
+	vcLines := flag.Int("verify-cache", 0, "dedicated verification cache size in L2-block lines per shard (0 = share the L2)")
+	vcAssoc := flag.Int("verify-assoc", 0, "dedicated verification cache associativity (0 = the L2's)")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
 
 	cfg.Scheme = core.Scheme(*scheme)
 	cfg.Benchmark = trace.Uniform("loadgen", 32<<10)
@@ -71,6 +83,12 @@ func main() {
 	default:
 		cfg.ChunkBlocks = 1
 	}
+	if *pf {
+		cfg.Prefetch = prefetch.DefaultConfig()
+		cfg.Prefetch.Enabled = true
+	}
+	cfg.VerifyCacheLines = *vcLines
+	cfg.VerifyCacheAssoc = *vcAssoc
 
 	var recs []*telemetry.Recorder
 	scfg := shard.Config{Machine: cfg, Shards: *shards, QueueDepth: *queueDepth}

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"memverify/internal/core"
+	"memverify/internal/prefetch"
 	"memverify/internal/profiling"
 	"memverify/internal/telemetry"
 	"memverify/internal/trace"
@@ -39,6 +40,9 @@ func main() {
 	replay := flag.String("replay", "", "drive the simulation from a recorded trace file instead of the synthetic generator")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in Perfetto)")
 	metricsPath := flag.String("metrics", "", "write a deterministic JSON metrics snapshot of the run")
+	pf := flag.Bool("prefetch", false, "enable the tree-ancestor prefetcher")
+	vcLines := flag.Int("verify-cache", 0, "dedicated verification cache size in L2-block lines (0 = share the L2)")
+	vcAssoc := flag.Int("verify-assoc", 0, "dedicated verification cache associativity (0 = the L2's)")
 	flag.Parse()
 
 	stopProf, perr := prof.Start()
@@ -67,6 +71,12 @@ func main() {
 	default:
 		cfg.ChunkBlocks = 1
 	}
+	if *pf {
+		cfg.Prefetch = prefetch.DefaultConfig()
+		cfg.Prefetch.Enabled = true
+	}
+	cfg.VerifyCacheLines = *vcLines
+	cfg.VerifyCacheAssoc = *vcAssoc
 
 	if *table1 {
 		fmt.Print(cfg.Table1())
@@ -152,4 +162,11 @@ func main() {
 	fmt.Printf("  bus utilization     %.2f%%\n", 100*mt.BusUtilization)
 	fmt.Printf("  hash ops            %d (%d bytes)\n", mt.HashOps, mt.HashBytesHashed)
 	fmt.Printf("  violations          %d\n", mt.Violations)
+	if mt.VCAccesses > 0 {
+		fmt.Printf("  verify cache        %d accesses (hit rate %.4f%%)\n", mt.VCAccesses, 100*mt.VCHitRate)
+	}
+	if ps := mt.PrefetchStats; ps.Observed > 0 {
+		fmt.Printf("  prefetch            issued %d useful %d late %d dropped %d\n",
+			ps.Issued, ps.Useful, ps.Late, ps.DroppedResident+ps.DroppedBudget+ps.DroppedBus)
+	}
 }

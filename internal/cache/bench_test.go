@@ -27,3 +27,54 @@ func BenchmarkFillEvictDataBearing(b *testing.B) {
 		c.Fill(uint64(i)*64, Data, data)
 	}
 }
+
+// vcCache builds the dedicated verification cache's geometry: small (64
+// lines), 4-way, data-bearing, holding only Hash-class tree nodes.
+func vcCache() *Cache {
+	return New(Config{Name: "VC", Size: 64 * 64, Ways: 4, BlockSize: 64, DataBearing: true})
+}
+
+func BenchmarkVerifyCacheFill(b *testing.B) {
+	c := vcCache()
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*64, Hash, data)
+	}
+}
+
+func BenchmarkVerifyCacheWriteHit(b *testing.B) {
+	c := vcCache()
+	c.Fill(0x1000, Hash, make([]byte, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Write(0x1000, Hash)
+	}
+}
+
+// BenchmarkVerifyCacheLookup measures Peek on a resident line — the
+// residency probe the ancestor prefetcher runs on every prediction.
+func BenchmarkVerifyCacheLookup(b *testing.B) {
+	c := vcCache()
+	c.Fill(0x1000, Hash, make([]byte, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Peek(0x1000) == nil {
+			b.Fatal("resident line not found")
+		}
+	}
+}
+
+// BenchmarkVerifyCacheLookupMiss is the same probe when the prediction's
+// ancestor is absent (the case that leads to an issued prefetch).
+func BenchmarkVerifyCacheLookupMiss(b *testing.B) {
+	c := vcCache()
+	c.Fill(0x1000, Hash, make([]byte, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Peek(0x2000) != nil {
+			b.Fatal("absent line found")
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"memverify/internal/core"
+	"memverify/internal/prefetch"
 	"memverify/internal/telemetry"
 	"memverify/internal/trace"
 )
@@ -96,6 +97,14 @@ type Config struct {
 	// plain violation.
 	IncludeTransient bool
 
+	// Prefetch enables the tree-ancestor prefetcher on every injection's
+	// machine, and VerifyCacheLines/VerifyCacheAssoc give tree nodes a
+	// dedicated cache — the campaign legs proving the performance features
+	// never weaken detection.
+	Prefetch         bool
+	VerifyCacheLines int
+	VerifyCacheAssoc int
+
 	// Telemetry, when non-nil, attaches the recorder to every injection's
 	// machine (cmd/chaos -trace/-metrics). Each injection runs on a fresh
 	// machine, so each shows up as its own process in the exported trace.
@@ -135,6 +144,12 @@ func (c Config) machineConfig() core.Config {
 	if c.Scheme == core.SchemeMulti || c.Scheme == core.SchemeIncr {
 		cfg.ChunkBlocks = 2
 	}
+	if c.Prefetch {
+		cfg.Prefetch = prefetch.DefaultConfig()
+		cfg.Prefetch.Enabled = true
+	}
+	cfg.VerifyCacheLines = c.VerifyCacheLines
+	cfg.VerifyCacheAssoc = c.VerifyCacheAssoc
 	cfg.Telemetry = c.Telemetry
 	return cfg
 }
@@ -454,6 +469,16 @@ func (st *campaignState) inject(inj *Injection) error {
 	return nil
 }
 
+// tamperResident reports whether the tampered block is currently cached —
+// in the L2 or, for tree nodes under a dedicated verification cache, the VC.
+func (st *campaignState) tamperResident() bool {
+	ba := st.m.L2.BlockAddr(st.tamperAddr)
+	if st.m.L2.Peek(ba) != nil {
+		return true
+	}
+	return st.m.VC != nil && st.m.VC.Peek(ba) != nil
+}
+
 // excludedChunk reports whether a program data offset's chunk is off-limits
 // for post-injection stores.
 func (st *campaignState) excludedChunk(off uint64) bool {
@@ -485,7 +510,7 @@ func (st *campaignState) observe(inj *Injection) {
 			_ = m.LoadBytes(off, make([]byte, 1))
 		}
 		inj.Accesses++
-		if !detected() && m.L2.Peek(m.L2.BlockAddr(st.tamperAddr)) != nil {
+		if !detected() && st.tamperResident() {
 			inj.ResidentAccesses++
 		}
 	}

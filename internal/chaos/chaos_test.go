@@ -135,6 +135,33 @@ func TestCampaignTransient(t *testing.T) {
 	}
 }
 
+// TestCampaignPrefetchAndVerifyCache is the security side of the
+// prefetch/dedicated-cache feature: with the ancestor prefetcher and a
+// dedicated verification cache both enabled, every tree scheme must still
+// detect every persistent injection, and the clean-run side must stay
+// free of false positives.
+func TestCampaignPrefetchAndVerifyCache(t *testing.T) {
+	for _, scheme := range treeSchemes {
+		t.Run(string(scheme), func(t *testing.T) {
+			cfg := DefaultConfig(scheme)
+			cfg.Injections = 15
+			cfg.Prefetch = true
+			cfg.VerifyCacheLines = 32
+			cfg.VerifyCacheAssoc = 4
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertAllDetected(t, rep)
+			if n, err := CleanViolations(cfg); err != nil {
+				t.Fatal(err)
+			} else if n != 0 {
+				t.Fatalf("clean run flagged %d violations with prefetch+VC", n)
+			}
+		})
+	}
+}
+
 // TestCampaignHaltPolicy checks that a campaign runs to completion under
 // the halt policy: detection latencies are still measured (the first
 // violation is what halts), and nothing is missed.

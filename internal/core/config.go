@@ -11,6 +11,7 @@ import (
 	"memverify/internal/cpu"
 	"memverify/internal/hashalg"
 	"memverify/internal/integrity"
+	"memverify/internal/prefetch"
 	"memverify/internal/stats"
 	"memverify/internal/telemetry"
 	"memverify/internal/tlb"
@@ -89,6 +90,26 @@ type Config struct {
 	// chunk under a dirty generation. All three produce identical Metrics;
 	// see integrity.HashMode.
 	HashMode string
+
+	// VerifyCacheLines, when > 0, gives the integrity layer a dedicated
+	// verification cache: hash-tree (interior) chunks are held in a
+	// separate cache of VerifyCacheLines lines of L2Block bytes instead of
+	// competing with data in the shared L2 — the paper's dedicated-vs-
+	// shared ablation. 0 (the default) keeps today's shared-L2 behaviour.
+	// Ignored by the base scheme, which has no tree.
+	VerifyCacheLines int
+	// VerifyCacheAssoc is the dedicated verification cache's
+	// associativity. 0 defaults to L2Ways.
+	VerifyCacheAssoc int
+
+	// Prefetch configures the tree-ancestor prefetcher: a delta-pattern
+	// engine observing the integrity layer's chunk-access stream that
+	// pulls predicted chunks' uncached tree ancestors into the cache ahead
+	// of the demand miss. Prefetch fills are lowest-priority bus traffic
+	// and are dropped under contention, so timing stays honest; data and
+	// roots are byte-identical with the engine on or off. The zero value
+	// disables it.
+	Prefetch prefetch.Config
 
 	// ViolationPolicy selects the containment behaviour after a detected
 	// integrity violation: "record" (or empty) counts and continues,
@@ -188,6 +209,18 @@ func (c *Config) Validate() error {
 	if err := validateCacheGeometry("L2", c.L2Size, c.L2Ways, c.L2Block); err != nil {
 		return err
 	}
+	if c.VerifyCacheLines < 0 {
+		return fmt.Errorf("core: VerifyCacheLines must be >= 0, got %d", c.VerifyCacheLines)
+	}
+	if c.VerifyCacheLines > 0 {
+		if err := validateCacheGeometry("verification cache",
+			c.VerifyCacheLines*c.L2Block, c.verifyCacheWays(), c.L2Block); err != nil {
+			return err
+		}
+	}
+	if err := c.Prefetch.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	if c.HashSize <= 0 {
 		return fmt.Errorf("core: HashSize must be positive, got %d", c.HashSize)
 	}
@@ -247,6 +280,20 @@ func (c *Config) Validate() error {
 			c.Benchmark.WorkingSet+c.Benchmark.CodeSet, c.ProtectedBytes)
 	}
 	return nil
+}
+
+// verifyCacheWays resolves the dedicated verification cache's
+// associativity: VerifyCacheAssoc when set, else L2Ways, clamped to the
+// line count so tiny caches degrade to fully associative.
+func (c *Config) verifyCacheWays() int {
+	ways := c.VerifyCacheAssoc
+	if ways <= 0 {
+		ways = c.L2Ways
+	}
+	if c.VerifyCacheLines > 0 && ways > c.VerifyCacheLines {
+		ways = c.VerifyCacheLines
+	}
+	return ways
 }
 
 // validateCacheGeometry pre-checks what cache.New would panic on.

@@ -12,6 +12,7 @@ import (
 	"memverify/internal/htree"
 	"memverify/internal/integrity"
 	"memverify/internal/mem"
+	"memverify/internal/prefetch"
 	"memverify/internal/telemetry"
 	"memverify/internal/tlb"
 	"memverify/internal/trace"
@@ -26,6 +27,7 @@ type Machine struct {
 	L1I    *cache.Cache
 	L1D    *cache.Cache
 	L2     *cache.Cache
+	VC     *cache.Cache // dedicated verification cache; nil = shared L2
 	ITLB   *tlb.TLB
 	DTLB   *tlb.TLB
 	Sys    *integrity.System
@@ -74,6 +76,17 @@ func NewMachine(cfg Config) (*Machine, error) {
 		Name: "L2", Size: cfg.L2Size, Ways: cfg.L2Ways, BlockSize: cfg.L2Block,
 		DataBearing: cfg.Functional,
 	})
+	// The dedicated verification cache and the ancestor prefetcher only
+	// make sense for the tree-caching schemes: base has no tree, and the
+	// naive scheme never caches tree nodes by definition.
+	treeCaching := cfg.Scheme == SchemeCached || cfg.Scheme == SchemeMulti || cfg.Scheme == SchemeIncr
+	if treeCaching && cfg.VerifyCacheLines > 0 {
+		m.VC = cache.New(cache.Config{
+			Name: "VC", Size: cfg.VerifyCacheLines * cfg.L2Block,
+			Ways: cfg.verifyCacheWays(), BlockSize: cfg.L2Block,
+			DataBearing: cfg.Functional,
+		})
+	}
 
 	chunkSize := cfg.L2Block * cfg.ChunkBlocks
 	layout, err := htree.NewLayout(chunkSize, cfg.HashSize, cfg.ProtectedBytes)
@@ -108,6 +121,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 		Exec:        integrity.NewHashExec(mode),
 		Policy:      policy,
 		OnViolation: m.noteViolation,
+		VC:          m.VC,
+	}
+	if treeCaching && cfg.Prefetch.Enabled {
+		m.Sys.Prefetch = prefetch.New(cfg.Prefetch)
 	}
 
 	if rec := cfg.Telemetry; rec != nil {
@@ -179,6 +196,10 @@ func (m *Machine) ResetStats() {
 	m.L1I.ResetStats()
 	m.L1D.ResetStats()
 	m.L2.ResetStats()
+	if m.VC != nil {
+		m.VC.ResetStats()
+	}
+	m.Sys.Prefetch.ResetStats()
 	m.ITLB.ResetStats()
 	m.DTLB.ResetStats()
 	m.Bus.ResetCounters()
@@ -233,6 +254,9 @@ func (m *Machine) EvictProtected() {
 	m.Flush()
 	for ba := uint64(0); ba < m.Layout.Size(); ba += uint64(m.Cfg.L2Block) {
 		m.L2.Invalidate(ba)
+		if m.VC != nil {
+			m.VC.Invalidate(ba)
+		}
 	}
 }
 

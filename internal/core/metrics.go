@@ -8,6 +8,7 @@ import (
 	"memverify/internal/cpu"
 	"memverify/internal/hashalg"
 	"memverify/internal/integrity"
+	"memverify/internal/prefetch"
 	"memverify/internal/trace"
 )
 
@@ -40,6 +41,14 @@ type Metrics struct {
 	DRAMWrites      uint64
 	ITLBMissRate    float64
 	DTLBMissRate    float64
+
+	// Dedicated verification cache (zero when sharing the L2).
+	VCStats    cache.Stats
+	VCAccesses uint64
+	VCHitRate  float64
+
+	// Tree-ancestor prefetcher (zero when disabled).
+	PrefetchStats prefetch.Stats
 }
 
 func hashFor(name string) (hashalg.Algorithm, error) { return hashalg.New(name) }
@@ -80,7 +89,23 @@ func (m *Machine) metrics(res cpu.Result) Metrics {
 		out.ExtraPerMiss = float64(readPath) / float64(dataMisses)
 		out.ExtraPerMissAll = float64(m.Sys.Stat.ExtraBlockReads) / float64(dataMisses)
 	}
+	if m.VC != nil {
+		out.VCStats = m.VC.Stat
+		out.VCAccesses, out.VCHitRate = vcRates(m.VC.Stat)
+	}
+	out.PrefetchStats = m.Sys.Prefetch.Stats()
 	return out
+}
+
+// vcRates derives the dedicated verification cache's access count and hit
+// rate from its stats (tree nodes are Hash-class traffic).
+func vcRates(st cache.Stats) (accesses uint64, hitRate float64) {
+	accesses = st.Accesses[cache.Hash] + st.Writes[cache.Hash]
+	if accesses > 0 {
+		misses := st.Misses[cache.Hash] + st.WriteMiss[cache.Hash]
+		hitRate = 1 - float64(misses)/float64(accesses)
+	}
+	return accesses, hitRate
 }
 
 // Snapshot assembles Metrics from the machine's current counters without a
@@ -135,6 +160,23 @@ func MergeMetrics(ms ...Metrics) Metrics {
 		agg.Retries += is.Retries
 		agg.RetriesTransient += is.RetriesTransient
 		agg.RetriesPersistent += is.RetriesPersistent
+		for c := 0; c < len(mt.VCStats.Accesses); c++ {
+			out.VCStats.Accesses[c] += mt.VCStats.Accesses[c]
+			out.VCStats.Misses[c] += mt.VCStats.Misses[c]
+			out.VCStats.Writes[c] += mt.VCStats.Writes[c]
+			out.VCStats.WriteMiss[c] += mt.VCStats.WriteMiss[c]
+			out.VCStats.Evictions[c] += mt.VCStats.Evictions[c]
+			out.VCStats.WriteBacks[c] += mt.VCStats.WriteBacks[c]
+		}
+		ps, pagg := &mt.PrefetchStats, &out.PrefetchStats
+		pagg.Observed += ps.Observed
+		pagg.Predicted += ps.Predicted
+		pagg.Issued += ps.Issued
+		pagg.Useful += ps.Useful
+		pagg.Late += ps.Late
+		pagg.DroppedResident += ps.DroppedResident
+		pagg.DroppedBudget += ps.DroppedBudget
+		pagg.DroppedBus += ps.DroppedBus
 		out.BusBytes += mt.BusBytes
 		out.BusDataBytes += mt.BusDataBytes
 		out.BusHashBytes += mt.BusHashBytes
@@ -162,6 +204,7 @@ func MergeMetrics(ms ...Metrics) Metrics {
 		out.ExtraPerMiss = float64(readPath) / float64(out.L2DataMisses)
 		out.ExtraPerMissAll = float64(out.IntegrityStats.ExtraBlockReads) / float64(out.L2DataMisses)
 	}
+	out.VCAccesses, out.VCHitRate = vcRates(out.VCStats)
 	return out
 }
 

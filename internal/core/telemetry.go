@@ -59,6 +59,36 @@ func (m *Machine) FillRegistry(reg *telemetry.Registry, mt *Metrics) {
 			float64(m.L2.ResidentLinesClass(cache.Hash))/float64(totalLines))
 	}
 
+	// Dedicated verification cache: counters plus hit-rate and residency
+	// gauges (all absent-as-zero when sharing the L2).
+	if m.VC != nil {
+		vs := &mt.VCStats
+		reg.Add("vc.accesses", mt.VCAccesses)
+		reg.Add("vc.misses", vs.Misses[cache.Hash]+vs.WriteMiss[cache.Hash])
+		reg.Add("vc.evictions", vs.Evictions[cache.Hash])
+		reg.Add("vc.writebacks", vs.WriteBacks[cache.Hash])
+		reg.Add("vc.resident_lines", uint64(m.VC.ResidentLinesClass(cache.Hash)))
+		reg.SetGauge("vc.hit_rate", mt.VCHitRate)
+		if m.Cfg.VerifyCacheLines > 0 {
+			reg.SetGauge("vc.occupancy",
+				float64(m.VC.ResidentLinesClass(cache.Hash))/float64(m.Cfg.VerifyCacheLines))
+		}
+	}
+
+	// Tree-ancestor prefetcher decisions (all zero when disabled).
+	ps := &mt.PrefetchStats
+	reg.Add("prefetch.observed", ps.Observed)
+	reg.Add("prefetch.predicted", ps.Predicted)
+	reg.Add("prefetch.issued", ps.Issued)
+	reg.Add("prefetch.useful", ps.Useful)
+	reg.Add("prefetch.late", ps.Late)
+	reg.Add("prefetch.dropped_resident", ps.DroppedResident)
+	reg.Add("prefetch.dropped_budget", ps.DroppedBudget)
+	reg.Add("prefetch.dropped_bus", ps.DroppedBus)
+	if ps.Issued > 0 {
+		reg.SetGauge("prefetch.accuracy", float64(ps.Useful)/float64(ps.Issued))
+	}
+
 	if h := m.Sys.PathExtras; h != nil {
 		reg.MergeHistogram("integrity.path_extras", h)
 	}
@@ -91,5 +121,8 @@ func AccumulateMetrics(reg *telemetry.Registry, mt *Metrics) {
 	reg.Add("hash.ops", mt.HashOps)
 	reg.Add("dram.reads", mt.DRAMReads)
 	reg.Add("dram.writes", mt.DRAMWrites)
+	reg.Add("vc.accesses", mt.VCAccesses)
+	reg.Add("prefetch.issued", mt.PrefetchStats.Issued)
+	reg.Add("prefetch.useful", mt.PrefetchStats.Useful)
 	reg.Add("sweep.points", 1)
 }

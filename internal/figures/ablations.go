@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memverify/internal/core"
+	"memverify/internal/prefetch"
 	"memverify/internal/stats"
 )
 
@@ -13,6 +14,63 @@ import (
 // absorbed by deeper buffers), L2 associativity (hash/data contention is
 // a replacement phenomenon) and protected-region size (the naive scheme's
 // log N cost against the cached scheme's locality).
+
+// AblationVCLines is the dedicated verification cache sized for the
+// dedicated-vs-shared sweep, in L2-block lines (128 × 64 B = 8 KB).
+const AblationVCLines = 128
+
+// ablationVCVariants are the four cache arrangements of the
+// dedicated-vs-shared sweep: tree nodes sharing the L2 or living in a
+// dedicated cache, each with the ancestor prefetcher off and on.
+var ablationVCVariants = []struct {
+	name     string
+	vc       bool
+	prefetch bool
+}{
+	{"shared", false, false},
+	{"shared+pf", false, true},
+	{"dedicated", true, false},
+	{"dedicated+pf", true, true},
+}
+
+// AblationVerifyCache sweeps where the tree nodes live — sharing the L2
+// with program data (the paper's arrangement, where hash lines pollute
+// the working set) against a small dedicated verification cache — with
+// and without tree-ancestor prefetching. A deliberately small L2
+// (256 KB) makes the contention visible: that is where evicting data
+// for hashes hurts and where a dedicated cache or a prefetcher buys the
+// most back.
+func (p Params) AblationVerifyCache() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: dedicated verification cache (%d lines) and ancestor prefetch (scheme c, 256KB L2, 64B)", AblationVCLines),
+		"bench", "shared", "shared+pf", "dedicated", "dedicated+pf", "dedicated/shared")
+	pf := prefetch.DefaultConfig()
+	pf.Enabled = true
+	var pts []point
+	for _, b := range p.benches() {
+		for _, v := range ablationVCVariants {
+			v := v
+			pts = append(pts, point{b, func(c *core.Config) {
+				schemeCfg(core.SchemeCached)(c)
+				c.L2Size = 256 << 10
+				if v.vc {
+					c.VerifyCacheLines = AblationVCLines
+					c.VerifyCacheAssoc = 4
+				}
+				if v.prefetch {
+					c.Prefetch = pf
+				}
+			}})
+		}
+	}
+	mts := p.runAll(pts)
+	for bi, b := range p.benches() {
+		row := mts[bi*len(ablationVCVariants):]
+		t.AddRow(b.Name, row[0].IPC, row[1].IPC, row[2].IPC, row[3].IPC,
+			row[2].IPC/row[0].IPC)
+	}
+	return t
+}
 
 // AblationArities are the stored-record sizes swept: 8 B records give an
 // 8-ary tree (1/7 of memory for hashes), 16 B a 4-ary tree (1/3).

@@ -17,6 +17,11 @@ func abParams() Params {
 	}
 }
 
+func TestAblationVerifyCache(t *testing.T) {
+	out := abParams().AblationVerifyCache().String()
+	mustContain(t, out, "dedicated verification cache", "shared+pf", "dedicated+pf", "gzip")
+}
+
 func TestAblationArity(t *testing.T) {
 	out := abParams().AblationArity().String()
 	mustContain(t, out, "arity", "8-ary", "4-ary", "gzip")

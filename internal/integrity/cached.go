@@ -132,10 +132,67 @@ func (e *Cached) ReadBlock(now uint64, addr uint64) uint64 {
 	c := s.Layout.ChunkOf(addr)
 	before := s.Stat.ExtraBlockReads
 	img, ready, _ := e.readAndCheckChunk(now, c, s.L2.BlockAddr(addr))
-	e.fillChunk(ready, c, img)
+	e.fillChunk(ready, c, img, s.L2.BlockAddr(addr))
 	s.putImg(img)
 	s.observePath(s.Stat.ExtraBlockReads - before)
+	e.maybePrefetch(ready, c)
 	return ready
+}
+
+// maybePrefetch feeds one demand chunk access to the prefetch engine and,
+// when the pattern table predicts the next chunk, pulls that chunk's
+// uncached tree ancestors into the cache through the ordinary verified
+// fetch path (which terminates at the first resident ancestor, preserving
+// the cached-implies-verified invariant). The prediction is dropped — never
+// queued — when the target's record block is already resident, the
+// in-flight budget is full, or the bus is busy: prefetches are the lowest
+// priority traffic and must not delay demand work. The demand read's
+// completion time is returned unchanged by the caller; prefetch transfers
+// occupy the bus like any other traffic, which is what makes the model
+// honest, but they never alter delivered data or the tree.
+func (e *Cached) maybePrefetch(now uint64, c uint64) {
+	s := e.sys
+	if s.Prefetch == nil || s.prefetching {
+		return
+	}
+	pred, ok := s.Prefetch.Observe(now, c)
+	if !ok || pred >= s.Layout.TotalChunks || s.Layout.IsInterior(pred) {
+		return
+	}
+	slotAddr, ok := s.Layout.HashAddr(pred)
+	if !ok {
+		return // single-chunk tree: the root register is the only ancestor
+	}
+	parent := s.Layout.ChunkOf(slotAddr)
+	if s.cacheFor(parent).Peek(s.L2.BlockAddr(slotAddr)) != nil {
+		s.Prefetch.DropResident()
+		return
+	}
+	if s.Prefetch.BudgetFull(now) {
+		s.Prefetch.DropBudget()
+		return
+	}
+	if s.DRAM.Bus.FreeAt() > now+s.Prefetch.MaxBusWait() {
+		s.Prefetch.DropBus()
+		return
+	}
+	s.prefetching = true
+	val, done := e.readValue(now, slotAddr, s.Layout.HashSize)
+	s.putRec(val)
+	s.prefetching = false
+	s.Prefetch.Launched(pred, done)
+	// Clamp the telemetry span into a monotonic, non-overlapping sequence:
+	// the out-of-order core hands the engine non-monotonic `now` values,
+	// and one prefetch lane should render as one clean Perfetto row.
+	begin, end := now, done
+	if begin < s.prefLastEnd {
+		begin = s.prefLastEnd
+	}
+	if end < begin {
+		end = begin
+	}
+	s.prefLastEnd = end
+	s.Tel.Emit(telemetry.TrackPrefetch, telemetry.KindPrefetch, begin, end, pred, parent)
 }
 
 // Evict implements Engine.
@@ -334,7 +391,7 @@ func (e *Cached) readValue(now uint64, addr uint64, size int) ([]byte, uint64) {
 	c := s.Layout.ChunkOf(addr)
 	cclass, _ := s.classFor(c)
 	for attempt := 0; ; attempt++ {
-		if ln := s.L2.Read(ba, cclass); ln != nil {
+		if ln := s.cacheFor(c).Read(ba, cclass); ln != nil {
 			if !s.Functional {
 				return nil, now + s.L2Latency
 			}
@@ -349,7 +406,7 @@ func (e *Cached) readValue(now uint64, addr uint64, size int) ([]byte, uint64) {
 			return append(s.getRec(size), data[off:off+uint64(size)]...), now + s.L2Latency
 		}
 		img, ready, _ := e.readAndCheckChunk(now, c, noDemand)
-		e.fillChunk(ready, c, img)
+		e.fillChunk(ready, c, img, ba)
 		s.putImg(img)
 		now = ready
 		if attempt > 4 {
@@ -370,7 +427,7 @@ func (e *Cached) writeValue(now uint64, addr uint64, val []byte) (done uint64, a
 	c := s.Layout.ChunkOf(addr)
 	cclass, _ := s.classFor(c)
 	done = now
-	ln := s.L2.Write(ba, cclass)
+	ln := s.cacheFor(c).Write(ba, cclass)
 	if ln == nil {
 		if data, ok := s.inflightData(ba); ok {
 			if s.Trace != nil {
@@ -387,9 +444,9 @@ func (e *Cached) writeValue(now uint64, addr uint64, val []byte) (done uint64, a
 				panic("integrity: write-allocate failed to cache the slot block (engine bug)")
 			}
 			img, ready, _ := e.readAndCheckChunk(now, c, noDemand)
-			e.fillChunk(ready, c, img)
+			e.fillChunk(ready, c, img, ba)
 			done = ready
-			ln = s.L2.Write(ba, cclass)
+			ln = s.cacheFor(c).Write(ba, cclass)
 		}
 	}
 	if s.Trace != nil {
@@ -405,18 +462,45 @@ func (e *Cached) writeValue(now uint64, addr uint64, val []byte) (done uint64, a
 	return done + s.L2Latency, allocated
 }
 
-// fillChunk installs the uncached blocks of chunk c into the L2, handling
-// dirty victims through the engine's write-back. Blocks whose lines are
-// sitting in the write buffer are skipped: re-inserting them would
-// resurrect a stale copy.
-func (e *Cached) fillChunk(at uint64, c uint64, img []byte) {
+// fillChunk installs the uncached blocks of chunk c into the cache,
+// handling dirty victims through the engine's write-back. Blocks whose
+// lines are sitting in the write buffer are skipped: re-inserting them
+// would resurrect a stale copy.
+//
+// A dirty victim's write-back (and anything nested under it) may write
+// blocks of this very chunk to memory — a dirty sibling in the same set
+// is a routine victim in the small dedicated verification cache. The
+// image was verified against memory as it stood at compose time, so once
+// a write-back has run the remaining blocks can no longer be installed
+// as clean copies: a clean line must equal memory, and a stale install
+// here poisons every later verification of the chunk. The fill therefore
+// stops at the first dirty eviction; skipped blocks simply miss and take
+// the verified fetch path again. The block the caller actually needs
+// resident (prio, or noDemand) goes first, so it is installed before any
+// write-back can cut the fill short.
+func (e *Cached) fillChunk(at uint64, c uint64, img []byte, prio uint64) {
 	s := e.sys
 	bs := s.BlockSize()
 	base := s.Layout.ChunkAddr(c)
 	cclass, _ := s.classFor(c)
-	for i := 0; i < s.chunkBlocks(); i++ {
+	target := s.cacheFor(c)
+	k := s.chunkBlocks()
+	prioIdx := -1
+	if prio != noDemand {
+		prioIdx = int((prio - base) / uint64(bs))
+	}
+	for n := 0; n < k; n++ {
+		i := n
+		if prioIdx >= 0 {
+			switch {
+			case n == 0:
+				i = prioIdx
+			case n <= prioIdx:
+				i = n - 1
+			}
+		}
 		ba := base + uint64(i*bs)
-		if s.L2.Peek(ba) != nil {
+		if target.Peek(ba) != nil {
 			continue
 		}
 		if _, ok := s.inflightData(ba); ok {
@@ -426,8 +510,9 @@ func (e *Cached) fillChunk(at uint64, c uint64, img []byte) {
 		if img != nil {
 			data = img[i*bs : (i+1)*bs]
 		}
-		if ev := s.L2.Fill(ba, cclass, data); ev.Valid && ev.Dirty {
+		if ev := target.Fill(ba, cclass, data); ev.Valid && ev.Dirty {
 			e.evictFn(at, ev)
+			return
 		}
 	}
 }
@@ -487,7 +572,7 @@ func (e *Cached) collectChunk(st *chunkState, c uint64, evIdx int, evData []byte
 			continue
 		}
 		ba := base + uint64(i*bs)
-		if ln := s.L2.Peek(ba); ln != nil {
+		if ln := s.cacheFor(c).Peek(ba); ln != nil {
 			st.data[i] = ln.Data
 			st.present[i] = true
 			st.count++
@@ -616,7 +701,7 @@ func (e *Cached) evictCached(now uint64, line cache.Line) uint64 {
 			s.Stat.DataBlockWrites++
 		}
 		if i != evIdx {
-			s.L2.Clean(ba)
+			s.cacheFor(c).Clean(ba)
 		}
 	}
 	// Memory now equals newImg and recBuf is its record: memoize so clean

@@ -110,12 +110,17 @@ func (e *Base) Flush(now uint64) uint64 {
 	return done
 }
 
-// flushVia drains dirty lines through ev until the cache is clean; shared
-// by the protected engines, whose write-backs dirty ancestor lines.
+// flushVia drains dirty lines through ev until every cache is clean —
+// the shared L2 and, when configured, the dedicated verification cache,
+// whose lines the write-backs dirty with record updates. Shared by the
+// protected engines.
 func flushVia(s *System, now uint64, ev func(uint64, cache.Line) uint64) uint64 {
 	done := now
 	for pass := 0; ; pass++ {
 		dirty := s.L2.DirtyLines()
+		if s.VC != nil {
+			dirty = append(dirty, s.VC.DirtyLines()...)
+		}
 		if len(dirty) == 0 {
 			return done
 		}
@@ -128,11 +133,12 @@ func flushVia(s *System, now uint64, ev func(uint64, cache.Line) uint64) uint64 
 			// siblings; hash updates dirty parents). Re-check, then pull
 			// the line out so Evict sees the same "in hand" state a
 			// replacement victim would have.
-			cur := s.L2.Peek(ln.Addr)
+			owner := s.cacheForAddr(ln.Addr)
+			cur := owner.Peek(ln.Addr)
 			if cur == nil || !cur.Dirty {
 				continue
 			}
-			victim := s.L2.Invalidate(ln.Addr)
+			victim := owner.Invalidate(ln.Addr)
 			if d := ev(done, victim); d > done {
 				done = d
 			}

@@ -130,9 +130,10 @@ func (e *Incr) evictIncr(now uint64, line cache.Line) uint64 {
 	} else {
 		slotAddr, _ := s.Layout.HashAddr(c)
 		ba := s.L2.BlockAddr(slotAddr)
+		slotCache := s.cacheFor(s.Layout.ChunkOf(slotAddr))
 		for attempt := 0; ; attempt++ {
 			_, inflight := s.inflightData(ba)
-			resident := s.L2.Peek(ba) != nil || inflight
+			resident := slotCache.Peek(ba) != nil || inflight
 			// readValue hands back a pooled buffer; a stale previous
 			// attempt's copy goes back to the pool before refetching.
 			s.putRec(tagBytes)

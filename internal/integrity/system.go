@@ -9,6 +9,7 @@ import (
 	"memverify/internal/hashalg"
 	"memverify/internal/htree"
 	"memverify/internal/mem"
+	"memverify/internal/prefetch"
 	"memverify/internal/stats"
 	"memverify/internal/telemetry"
 )
@@ -71,6 +72,22 @@ type System struct {
 	Alg       hashalg.Algorithm
 	L2Latency uint64
 
+	// VC, when non-nil, is the dedicated verification cache: interior
+	// (hash-tree) chunks are cached here instead of competing with data in
+	// the shared L2, reproducing the paper's dedicated-vs-shared ablation.
+	// nil keeps every chunk in the L2. Data chunks and unprotected lines
+	// always stay in the L2 either way.
+	VC *cache.Cache
+
+	// Prefetch, when non-nil, is the tree-ancestor prefetch engine: it
+	// observes the demand chunk-access stream and, when its pattern table
+	// predicts the next chunk, the engine pulls that chunk's uncached tree
+	// ancestors into the cache as lowest-priority bus traffic (dropped,
+	// never queued, when the bus is busy or the in-flight budget is full).
+	// Prefetching is semantically invisible: delivered data and roots are
+	// byte-identical with it on or off.
+	Prefetch *prefetch.Prefetcher
+
 	// CheckReads arms read verification. The initialization procedure of
 	// §5.7.2 runs with it off ("turn on the hashing algorithm for writes
 	// but not for reads") and arms it as its final step.
@@ -127,6 +144,15 @@ type System struct {
 	depth         int
 	wbDepth       int
 	lastCheckDone uint64
+
+	// prefetching guards against the prefetch path re-triggering itself:
+	// ancestor fetches issued for a prediction are not demand accesses.
+	prefetching bool
+	// prefLastEnd clamps prefetch telemetry spans into a monotonic,
+	// non-overlapping sequence: the out-of-order core hands the engine
+	// non-monotonic `now` values, and overlapping spans on one trace lane
+	// render as garbage in Perfetto.
+	prefLastEnd uint64
 
 	// inflight tracks lines sitting in the write buffer mid-eviction,
 	// keyed by block address. Hardware forwards accesses to write-buffer
@@ -299,6 +325,25 @@ func (s *System) classFor(c uint64) (cache.Class, bus.Class) {
 	return cache.Data, bus.Data
 }
 
+// cacheFor returns the cache holding chunk c's blocks: the dedicated
+// verification cache for interior (hash-tree) chunks when one is
+// configured, else the shared L2.
+func (s *System) cacheFor(c uint64) *cache.Cache {
+	if s.VC != nil && s.Layout.IsInterior(c) {
+		return s.VC
+	}
+	return s.L2
+}
+
+// cacheForAddr is cacheFor keyed by block address; unprotected addresses
+// always live in the L2.
+func (s *System) cacheForAddr(addr uint64) *cache.Cache {
+	if s.VC != nil && s.Protected(addr) && s.Layout.IsInterior(s.Layout.ChunkOf(addr)) {
+		return s.VC
+	}
+	return s.L2
+}
+
 // chunkBlocks returns how many L2 blocks one chunk spans.
 func (s *System) chunkBlocks() int { return s.Layout.ChunkSize / s.BlockSize() }
 
@@ -323,7 +368,7 @@ func (s *System) composeImage(c uint64) (img []byte, memBlocks []int) {
 	memBlocks = s.memScratch[:0]
 	for i := 0; i < k; i++ {
 		ba := base + uint64(i*bs)
-		if ln := s.L2.Peek(ba); ln != nil && !ln.Dirty {
+		if ln := s.cacheFor(c).Peek(ba); ln != nil && !ln.Dirty {
 			if img != nil {
 				copy(img[i*bs:(i+1)*bs], ln.Data)
 			}

@@ -1,0 +1,285 @@
+// Package prefetch implements a delta-correlation prefetch engine for the
+// integrity layer's chunk-access stream. A pattern table keyed by the most
+// recent chunk-address delta learns recurring stride sequences; once an
+// entry's confidence crosses the configured threshold the prefetcher emits
+// a prediction for the next chunk, and the integrity layer pulls that
+// chunk's uncached tree ancestors into the cache ahead of the demand miss.
+//
+// The engine is deliberately timing-honest and bounded:
+//
+//   - Predictions are emitted, never queued: the caller issues a prefetch
+//     only when the bus is idle and the in-flight budget has room, and
+//     drops it otherwise (lowest-priority traffic).
+//   - The in-flight budget is tracked by completion time, so a prefetch
+//     occupies a slot exactly while its modeled bus/DRAM transfer is
+//     outstanding.
+//   - The whole engine is a pure function of its observation sequence: no
+//     clocks, no randomness. Identical access streams produce identical
+//     emission sequences, which is what keeps prefetch-on simulations
+//     deterministic and byte-identical on delivered data.
+//
+// A nil *Prefetcher is the disabled state: every method is a nil-receiver
+// no-op, so the prefetch-off path costs nothing (the same contract the
+// telemetry layer uses).
+package prefetch
+
+import "fmt"
+
+// Config selects and sizes the prefetch engine. The zero value (Enabled
+// false) disables prefetching entirely.
+type Config struct {
+	// Enabled turns the engine on. All other fields are ignored (and not
+	// validated) when false.
+	Enabled bool
+	// TableSize is the number of pattern-table entries; must be a power of
+	// two. Each entry is a (delta → next delta, confidence) correlation.
+	TableSize int
+	// Threshold is the confidence an entry needs before its prediction is
+	// emitted. Higher values trade coverage for accuracy.
+	Threshold uint8
+	// MaxInFlight bounds the number of outstanding prefetches; a
+	// prediction arriving with the budget full is dropped, never queued.
+	MaxInFlight int
+	// MaxBusWait is how many cycles of pending bus backlog a prefetch may
+	// queue behind before it is dropped instead. Predictions arrive right
+	// after demand misses, while the bus is still draining that miss, so a
+	// strictly-idle rule would starve the engine; a bounded wait lets the
+	// prefetch slot in behind the tail of the current transfer while still
+	// shedding under real contention (it is the lowest-priority traffic).
+	MaxBusWait uint64
+}
+
+// DefaultConfig returns the engine sizing used by the benchmarks: a
+// 256-entry table, confidence threshold 2, 4 outstanding prefetches, and
+// up to 200 cycles of bus backlog tolerated before a prediction is shed.
+func DefaultConfig() Config {
+	return Config{TableSize: 256, Threshold: 2, MaxInFlight: 4, MaxBusWait: 200}
+}
+
+// Validate checks the configuration. A disabled config is always valid.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.TableSize <= 0 || c.TableSize&(c.TableSize-1) != 0 {
+		return fmt.Errorf("prefetch: TableSize must be a positive power of two, got %d", c.TableSize)
+	}
+	if c.Threshold == 0 {
+		return fmt.Errorf("prefetch: Threshold must be at least 1")
+	}
+	if c.MaxInFlight <= 0 {
+		return fmt.Errorf("prefetch: MaxInFlight must be positive, got %d", c.MaxInFlight)
+	}
+	return nil
+}
+
+// Stats counts the engine's decisions. Issued = Useful + Late + predictions
+// whose target was never demanded before falling out of the matching
+// window; Dropped* predictions never touched the bus.
+type Stats struct {
+	Observed        uint64 // demand chunk accesses seen
+	Predicted       uint64 // table hits above threshold
+	Issued          uint64 // predictions that became bus traffic
+	Useful          uint64 // issued prefetches whose target was demanded after completion
+	Late            uint64 // issued prefetches whose target was demanded before completion
+	DroppedResident uint64 // predictions whose ancestors were already cached
+	DroppedBudget   uint64 // predictions dropped with the in-flight budget full
+	DroppedBus      uint64 // predictions dropped because the bus was busy
+}
+
+// entry is one pattern-table correlation: "after stride tag came stride
+// delta, conf times in a row (saturating)".
+type entry struct {
+	tag   int64
+	delta int64
+	conf  uint8
+}
+
+// pending tracks an issued prefetch for useful/late accounting.
+type pending struct {
+	chunk uint64
+	done  uint64
+}
+
+// Prefetcher is the delta-correlation engine. Methods are not safe for
+// concurrent use; each simulated machine owns its own instance (the shard
+// store builds one per shard).
+type Prefetcher struct {
+	cfg   Config
+	table []entry
+
+	prevChunk uint64
+	prevDelta int64
+	havePrev  bool
+	haveDelta bool
+
+	inflight []uint64  // completion times of outstanding prefetches
+	matching []pending // recently issued predictions awaiting their demand access
+
+	stat Stats
+}
+
+// New returns an engine for cfg, or nil (the disabled no-op) when cfg is
+// disabled. Callers should Validate cfg first; New trusts it.
+func New(cfg Config) *Prefetcher {
+	if !cfg.Enabled {
+		return nil
+	}
+	return &Prefetcher{
+		cfg:      cfg,
+		table:    make([]entry, cfg.TableSize),
+		inflight: make([]uint64, 0, cfg.MaxInFlight),
+		matching: make([]pending, 0, 4*cfg.MaxInFlight),
+	}
+}
+
+// slot hashes a delta into the pattern table.
+func (p *Prefetcher) slot(delta int64) *entry {
+	h := uint64(delta) * 0x9E3779B97F4A7C15
+	return &p.table[h>>32&uint64(len(p.table)-1)]
+}
+
+// Observe feeds one demand chunk access at cycle now. It trains the table
+// on the completed (previous delta → current delta) transition, settles
+// useful/late accounting for any matching outstanding prediction, and
+// returns the predicted next chunk when the table's confidence for the
+// current delta has crossed the threshold. Safe (and free) on nil.
+func (p *Prefetcher) Observe(now, chunk uint64) (predicted uint64, ok bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.stat.Observed++
+
+	// Settle any issued prediction this demand access fulfills.
+	for i := range p.matching {
+		if p.matching[i].chunk == chunk {
+			if now >= p.matching[i].done {
+				p.stat.Useful++
+			} else {
+				p.stat.Late++
+			}
+			p.matching = append(p.matching[:i], p.matching[i+1:]...)
+			break
+		}
+	}
+
+	if !p.havePrev {
+		p.prevChunk, p.havePrev = chunk, true
+		return 0, false
+	}
+	delta := int64(chunk) - int64(p.prevChunk)
+	if delta == 0 {
+		// Same-chunk re-access (retry loops, sibling blocks of one chunk):
+		// carries no stride information and must not dilute the table.
+		return 0, false
+	}
+
+	// Train: the stride that followed prevDelta turned out to be delta.
+	if p.haveDelta {
+		e := p.slot(p.prevDelta)
+		switch {
+		case e.tag == p.prevDelta && e.delta == delta:
+			if e.conf < 255 {
+				e.conf++
+			}
+		case e.conf > 0:
+			e.conf--
+		default:
+			*e = entry{tag: p.prevDelta, delta: delta, conf: 1}
+		}
+	}
+	p.prevChunk, p.prevDelta, p.haveDelta = chunk, delta, true
+
+	// Predict: what stride usually follows the one we just completed?
+	if e := p.slot(delta); e.tag == delta && e.conf >= p.cfg.Threshold {
+		next := int64(chunk) + e.delta
+		if next >= 0 {
+			p.stat.Predicted++
+			return uint64(next), true
+		}
+	}
+	return 0, false
+}
+
+// InFlight returns the number of prefetches still outstanding at cycle
+// now, compacting completed slots. Zero on nil.
+func (p *Prefetcher) InFlight(now uint64) int {
+	if p == nil {
+		return 0
+	}
+	live := p.inflight[:0]
+	for _, done := range p.inflight {
+		if done > now {
+			live = append(live, done)
+		}
+	}
+	p.inflight = live
+	return len(live)
+}
+
+// BudgetFull reports whether issuing another prefetch at cycle now would
+// exceed MaxInFlight. Always false on nil.
+func (p *Prefetcher) BudgetFull(now uint64) bool {
+	return p != nil && p.InFlight(now) >= p.cfg.MaxInFlight
+}
+
+// Launched records that the prediction for chunk was issued and its
+// modeled transfer completes at cycle done. No-op on nil.
+func (p *Prefetcher) Launched(chunk, done uint64) {
+	if p == nil {
+		return
+	}
+	p.stat.Issued++
+	p.inflight = append(p.inflight, done)
+	if len(p.matching) == cap(p.matching) && cap(p.matching) > 0 {
+		copy(p.matching, p.matching[1:])
+		p.matching = p.matching[:len(p.matching)-1]
+	}
+	p.matching = append(p.matching, pending{chunk: chunk, done: done})
+}
+
+// DropResident, DropBudget and DropBus record the caller's drop decisions.
+// No-ops on nil.
+func (p *Prefetcher) DropResident() {
+	if p != nil {
+		p.stat.DroppedResident++
+	}
+}
+
+// DropBudget records a prediction dropped with the in-flight budget full.
+func (p *Prefetcher) DropBudget() {
+	if p != nil {
+		p.stat.DroppedBudget++
+	}
+}
+
+// DropBus records a prediction dropped because the bus was busy.
+func (p *Prefetcher) DropBus() {
+	if p != nil {
+		p.stat.DroppedBus++
+	}
+}
+
+// MaxBusWait returns the configured bus-backlog tolerance. Zero on nil.
+func (p *Prefetcher) MaxBusWait() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.MaxBusWait
+}
+
+// Stats returns a copy of the counters. Zero value on nil.
+func (p *Prefetcher) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return p.stat
+}
+
+// ResetStats zeroes the counters without forgetting learned patterns or
+// outstanding prefetches, mirroring Machine.ResetStats warm-up semantics.
+func (p *Prefetcher) ResetStats() {
+	if p != nil {
+		p.stat = Stats{}
+	}
+}

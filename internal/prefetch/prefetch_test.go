@@ -1,0 +1,201 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// emission is one externally visible decision the engine made, used to
+// compare two runs for determinism.
+type emission struct {
+	at    uint64
+	chunk uint64
+}
+
+// drive feeds the engine a seeded access stream (a mix of strided runs and
+// random jumps, like a blended workload) through the same issue discipline
+// the integrity layer uses, and records every emission. maxSeen returns
+// the highest in-flight count ever observed after a launch.
+func drive(t *testing.T, seed int64, cfg Config) (ems []emission, maxSeen int) {
+	t.Helper()
+	p := New(cfg)
+	if p == nil {
+		t.Fatal("New returned nil for an enabled config")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	now := uint64(0)
+	chunk := uint64(rng.Intn(1 << 20))
+	for i := 0; i < 20000; i++ {
+		now += uint64(1 + rng.Intn(50))
+		// Mostly strided runs with occasional random jumps; stride length
+		// and direction change every so often.
+		switch rng.Intn(10) {
+		case 0:
+			chunk = uint64(rng.Intn(1 << 20))
+		default:
+			chunk += uint64(1 + rng.Intn(3))
+		}
+		pred, ok := p.Observe(now, chunk)
+		if !ok {
+			continue
+		}
+		if p.BudgetFull(now) {
+			p.DropBudget()
+			continue
+		}
+		// Model a fixed-latency transfer; the real caller uses bus timing.
+		p.Launched(pred, now+200)
+		ems = append(ems, emission{at: now, chunk: pred})
+		if n := p.InFlight(now); n > maxSeen {
+			maxSeen = n
+		}
+	}
+	return ems, maxSeen
+}
+
+// TestDeterministicEmissions pins the purity contract: the same seeded
+// access stream produces the identical emission sequence, which is what
+// keeps prefetch-on simulations byte-identical run to run.
+func TestDeterministicEmissions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Enabled = true
+	for _, seed := range []int64{1, 7, 42, 12345} {
+		a, _ := drive(t, seed, cfg)
+		b, _ := drive(t, seed, cfg)
+		if len(a) == 0 {
+			t.Fatalf("seed %d: strided stream produced no emissions", seed)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: emission counts differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: emission %d differs: %+v vs %+v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestBudgetNeverExceeded drives the engine under the caller's issue
+// discipline and asserts the in-flight count never exceeds MaxInFlight,
+// for several budget sizes.
+func TestBudgetNeverExceeded(t *testing.T) {
+	for _, budget := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.Enabled = true
+		cfg.MaxInFlight = budget
+		_, maxSeen := drive(t, 99, cfg)
+		if maxSeen > budget {
+			t.Fatalf("budget %d: observed %d in flight", budget, maxSeen)
+		}
+		if maxSeen == 0 {
+			t.Fatalf("budget %d: no prefetch ever in flight", budget)
+		}
+	}
+}
+
+// TestStridePrediction checks the core correlation: a pure stride stream
+// must start predicting chunk+stride once confidence crosses the
+// threshold, and every prediction must be correct.
+func TestStridePrediction(t *testing.T) {
+	for _, stride := range []int64{1, 3, -2} {
+		cfg := DefaultConfig()
+		cfg.Enabled = true
+		p := New(cfg)
+		chunk := int64(1000)
+		var predictions, correct int
+		for i := 0; i < 100; i++ {
+			chunk += stride
+			pred, ok := p.Observe(uint64(i*10), uint64(chunk))
+			if ok {
+				predictions++
+				if int64(pred) == chunk+stride {
+					correct++
+				}
+			}
+		}
+		if predictions < 90 {
+			t.Fatalf("stride %d: only %d predictions over 100 accesses", stride, predictions)
+		}
+		if correct != predictions {
+			t.Fatalf("stride %d: %d of %d predictions wrong", stride, predictions-correct, predictions)
+		}
+	}
+}
+
+// TestSameChunkSuppressed pins the delta-0 rule: re-accessing one chunk
+// (retry loops, sibling blocks) must neither train nor predict.
+func TestSameChunkSuppressed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Enabled = true
+	p := New(cfg)
+	for i := 0; i < 50; i++ {
+		if _, ok := p.Observe(uint64(i), 7); ok {
+			t.Fatal("same-chunk stream produced a prediction")
+		}
+	}
+	if got := p.Stats().Predicted; got != 0 {
+		t.Fatalf("same-chunk stream recorded %d predictions", got)
+	}
+}
+
+// TestUsefulLateAccounting checks the completion-time split: a demand
+// access after the prefetch completes counts Useful, before counts Late.
+func TestUsefulLateAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Enabled = true
+	p := New(cfg)
+	p.Launched(10, 100)
+	p.Launched(20, 100)
+	p.Observe(150, 10) // after done: useful
+	p.Observe(50, 20)  // before done: late
+	st := p.Stats()
+	if st.Useful != 1 || st.Late != 1 {
+		t.Fatalf("useful=%d late=%d, want 1/1", st.Useful, st.Late)
+	}
+}
+
+// TestNilPrefetcherIsInert pins the disabled contract: every method on a
+// nil engine is a no-op returning zero values.
+func TestNilPrefetcherIsInert(t *testing.T) {
+	var p *Prefetcher
+	if _, ok := p.Observe(1, 2); ok {
+		t.Fatal("nil prefetcher predicted")
+	}
+	if p.BudgetFull(1) || p.InFlight(1) != 0 {
+		t.Fatal("nil prefetcher reported in-flight work")
+	}
+	p.Launched(1, 2)
+	p.DropResident()
+	p.DropBudget()
+	p.DropBus()
+	p.ResetStats()
+	if p.Stats() != (Stats{}) {
+		t.Fatal("nil prefetcher accumulated stats")
+	}
+	if New(Config{}) != nil {
+		t.Fatal("New for a disabled config must return nil")
+	}
+}
+
+// TestValidate covers the config gate.
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("disabled config must validate: %v", err)
+	}
+	good := DefaultConfig()
+	good.Enabled = true
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+	for _, bad := range []Config{
+		{Enabled: true, TableSize: 0, Threshold: 2, MaxInFlight: 4},
+		{Enabled: true, TableSize: 100, Threshold: 2, MaxInFlight: 4},
+		{Enabled: true, TableSize: 256, Threshold: 0, MaxInFlight: 4},
+		{Enabled: true, TableSize: 256, Threshold: 2, MaxInFlight: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v validated", bad)
+		}
+	}
+}

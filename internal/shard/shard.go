@@ -445,6 +445,7 @@ func (s *Store) FillRegistry(reg *telemetry.Registry) Aggregate {
 	per := make([]core.Metrics, n)
 	hists := make([]*stats.Histogram, n)
 	var hashLines, totalLines uint64
+	var vcLines, vcCapLines uint64
 	for i := 0; i < n; i++ {
 		_ = s.do(i, func(m *core.Machine) error {
 			mt := m.Snapshot()
@@ -455,6 +456,10 @@ func (s *Store) FillRegistry(reg *telemetry.Registry) Aggregate {
 			m.FillRegistry(reg, &mt)
 			hashLines += uint64(m.L2.ResidentLinesClass(cache.Hash))
 			totalLines += uint64(m.Cfg.L2Size / m.Cfg.L2Block)
+			if m.VC != nil {
+				vcLines += uint64(m.VC.ResidentLinesClass(cache.Hash))
+				vcCapLines += uint64(m.Cfg.VerifyCacheLines)
+			}
 			return nil
 		})
 	}
@@ -486,6 +491,14 @@ func (s *Store) FillRegistry(reg *telemetry.Registry) Aggregate {
 	reg.SetGauge("integrity.extra_per_miss", t.ExtraPerMiss)
 	if totalLines > 0 {
 		reg.SetGauge("l2.hash_residency", float64(hashLines)/float64(totalLines))
+	}
+	if vcCapLines > 0 {
+		reg.SetGauge("vc.hit_rate", t.VCHitRate)
+		reg.SetGauge("vc.occupancy", float64(vcLines)/float64(vcCapLines))
+	}
+	if t.PrefetchStats.Issued > 0 {
+		reg.SetGauge("prefetch.accuracy",
+			float64(t.PrefetchStats.Useful)/float64(t.PrefetchStats.Issued))
 	}
 	return agg
 }

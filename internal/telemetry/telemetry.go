@@ -25,16 +25,17 @@ type Track uint8
 
 // The instrumented components, in display order.
 const (
-	TrackL2 Track = iota // L2 accesses from the memory hierarchy
-	TrackIntegrity       // tree-ancestor walks and write-backs
-	TrackHash            // hash-unit jobs
-	TrackBus             // bus grants
-	TrackDRAM            // DRAM transactions
+	TrackL2        Track = iota // L2 accesses from the memory hierarchy
+	TrackIntegrity              // tree-ancestor walks and write-backs
+	TrackHash                   // hash-unit jobs
+	TrackBus                    // bus grants
+	TrackDRAM                   // DRAM transactions
+	TrackPrefetch               // tree-ancestor prefetches
 	numTracks
 )
 
 // trackNames are the thread names the Chrome exporter writes.
-var trackNames = [numTracks]string{"L2", "integrity", "hash-unit", "bus", "dram"}
+var trackNames = [numTracks]string{"L2", "integrity", "hash-unit", "bus", "dram", "prefetch"}
 
 // String returns the track's display name.
 func (t Track) String() string {
@@ -69,12 +70,17 @@ const (
 	// KindDRAMRead / KindDRAMWrite: one DRAM transaction. A = bytes.
 	KindDRAMRead
 	KindDRAMWrite
+	// KindPrefetch: one issued tree-ancestor prefetch, spanning issue to
+	// modeled transfer completion. A = predicted chunk, B = the ancestor
+	// chunk whose record block the prefetch pulled in.
+	KindPrefetch
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"l2-read", "l2-write", "tree-walk", "write-back",
 	"hash-job", "bus-grant", "dram-read", "dram-write",
+	"prefetch",
 }
 
 // String returns the kind's display name.
