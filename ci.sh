@@ -62,6 +62,35 @@ if go run ./cmd/loadgen -shards 2 -workers 2 -ops 500 -tamper 1 >/dev/null 2>&1;
 fi
 echo "sharded store gate OK"
 
+# Speculative pipeline gate: speculation must be semantically invisible at
+# barriers. The equivalence suite (metrics, delivered data, roots, the
+# seeded barrier-interleaving property, halt poisoning, window bounds) and
+# the speculative batch-commit test run race-clean; a chaos mini-campaign
+# with the pipeline armed and epoch barriers interleaved into the
+# post-injection traffic must keep 100% detection with zero clean-run
+# false positives (default record policy — halt stops checking at the
+# first hit by design); and the loadgen speculative leg must verify clean
+# while the tamper leg still fails.
+go test -race -run 'TestSpeculative|TestPending' ./internal/core/ ./internal/integrity/ ./internal/shard/
+go run ./cmd/chaos -n 25 -seed 13 -speculative -barrier-every 6 >/dev/null
+go run ./cmd/loadgen -scheme naive -shards 4 -workers 2 -ops 2000 -speculative >/dev/null
+if go run ./cmd/loadgen -shards 2 -workers 2 -ops 500 -speculative -tamper 1 >/dev/null 2>&1; then
+  echo "FAIL: speculative loadgen did not detect the tampered shard" >&2
+  exit 1
+fi
+# Gap-closure regression gate: simulated IPC is deterministic, so one
+# iteration suffices — speculative naive must stay >= 1.5x blocking
+# naive on the throughput workload (measured 3.76x; see BENCH_async.json).
+go test -run '^$' -bench 'BenchmarkSpeculative/naive' -benchtime 1x . | awk '
+  $1 ~ /^BenchmarkSpeculative\/naive\/blocking(-[0-9]+)?$/    { for (i = 2; i <= NF; i++) if ($i == "naive-IPC") blk = $(i - 1) }
+  $1 ~ /^BenchmarkSpeculative\/naive\/speculative(-[0-9]+)?$/ { for (i = 2; i <= NF; i++) if ($i == "naive-IPC") spec = $(i - 1) }
+  END {
+    if (blk == "" || spec == "") { print "FAIL: benchmark output missing"; exit 1 }
+    printf "speculative naive IPC %s vs blocking %s (x%.2f)\n", spec, blk, spec / blk
+    if (spec / blk < 1.5) { print "FAIL: speculative naive speedup below 1.5x"; exit 1 }
+  }'
+echo "speculative pipeline gate OK"
+
 # Hygiene gate: no compiled or executable blob may be tracked. Shell
 # scripts are the only files allowed to carry the executable bit, and
 # nothing tracked may be an ELF/Mach-O binary.

@@ -21,9 +21,8 @@ import (
 
 	"memverify/internal/chaos"
 	"memverify/internal/core"
-	"memverify/internal/profiling"
+	"memverify/internal/runflags"
 	"memverify/internal/stats"
-	"memverify/internal/telemetry"
 )
 
 func main() {
@@ -38,16 +37,16 @@ func main() {
 		transient = flag.Bool("transient", false, "include transient glitch injections")
 		csvPath   = flag.String("csv", "", "write per-injection rows to this CSV file")
 		jsonPath  = flag.String("json", "", "write full reports to this JSON file")
-		trace     = flag.String("trace", "", "write a Chrome trace-event JSON of the campaign (open in Perfetto)")
-		metrics   = flag.String("metrics", "", "write a deterministic JSON metrics snapshot of the campaign")
 		pf        = flag.Bool("prefetch", false, "enable the tree-ancestor prefetcher on every injection's machine")
 		vcLines   = flag.Int("verify-cache", 0, "dedicated verification cache size in L2-block lines (0 = share the L2)")
 		vcAssoc   = flag.Int("verify-assoc", 0, "dedicated verification cache associativity (0 = the L2's)")
+		spec      = flag.Bool("speculative", false, "run every injection's machine with the speculative verification pipeline")
+		barrier   = flag.Int("barrier-every", 0, "with -speculative, interleave an epoch barrier every N post-injection accesses")
 	)
-	prof := profiling.AddFlags()
+	rf := runflags.Add()
 	flag.Parse()
 
-	stopProf, err := prof.Start()
+	stopProf, err := rf.StartProfiling()
 	if err != nil {
 		fatal(err)
 	}
@@ -67,14 +66,8 @@ func main() {
 		defer jsonOut.Close()
 	}
 
-	var rec *telemetry.Recorder
-	if *trace != "" || *metrics != "" {
-		rec = telemetry.NewRecorder(telemetry.DefaultEventCap)
-	}
-	var reg *telemetry.Registry
-	if *metrics != "" {
-		reg = telemetry.NewRegistry()
-	}
+	rec := rf.NewRecorder()
+	reg := rf.NewRegistry()
 
 	tbl := stats.NewTable("chaos campaign (seed "+fmt.Sprint(*seed)+")",
 		"scheme", "injections", "live", "sweep", "transient", "missed",
@@ -95,6 +88,8 @@ func main() {
 		cfg.Prefetch = *pf
 		cfg.VerifyCacheLines = *vcLines
 		cfg.VerifyCacheAssoc = *vcAssoc
+		cfg.Speculative = *spec
+		cfg.BarrierEvery = *barrier
 		cfg.Telemetry = rec
 
 		clean, err := chaos.CleanViolations(cfg)
@@ -146,14 +141,14 @@ func main() {
 		}
 	}
 	fmt.Print(tbl.String())
-	if *trace != "" {
-		if err := telemetry.WriteTraceFile(*trace, rec.Trace); err != nil {
+	if rec != nil {
+		if err := rf.WriteTrace(rec.Trace); err != nil {
 			fatal(err)
 		}
 	}
-	if *metrics != "" {
+	if reg != nil {
 		rec.FillRegistry(reg)
-		if err := telemetry.WriteMetricsFile(*metrics, reg); err != nil {
+		if err := rf.WriteMetrics(reg); err != nil {
 			fatal(err)
 		}
 	}

@@ -15,7 +15,7 @@ import (
 
 	"memverify/internal/core"
 	"memverify/internal/figures"
-	"memverify/internal/profiling"
+	"memverify/internal/runflags"
 	"memverify/internal/telemetry"
 )
 
@@ -24,7 +24,7 @@ func main() {
 	warm := flag.Uint64("warmup", 0, "warm-up instructions per point (default 150000)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = all cores, 1 = serial)")
-	prof := profiling.AddFlags()
+	rf := runflags.Add()
 	verbose := flag.Bool("v", false, "print each run's one-line summary")
 	table1 := flag.Bool("table1", false, "print Table 1")
 	fig3 := flag.Bool("fig3", false, "print Figure 3 (IPC, 6 cache configs)")
@@ -38,12 +38,10 @@ func main() {
 	hashmode := flag.String("hashmode", "", "digest execution for functional points: full, timing, memo")
 	protected := flag.Uint64("protected", 0, "override the protected-region size in bytes (0 = per-figure default)")
 	csvPath := flag.String("csv", "", "also write every run's configuration and metrics to a CSV file")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the sweep (forces -workers 1)")
-	metricsPath := flag.String("metrics", "", "write a deterministic JSON metrics snapshot aggregated over the sweep (forces -workers 1)")
 	progress := flag.Bool("progress", false, "show live sweep progress on stderr: points done, throughput, ETA")
 	flag.Parse()
 
-	stopProf, err := prof.Start()
+	stopProf, err := rf.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -81,14 +79,14 @@ func main() {
 		p.Meter = telemetry.NewMeter(os.Stderr, "sweep")
 		defer p.Meter.Finish()
 	}
-	var rec *telemetry.Recorder
-	if *tracePath != "" || *metricsPath != "" {
-		rec = telemetry.NewRecorder(telemetry.DefaultEventCap)
+	// Attaching a recorder forces the sweep serial (-workers 1); the
+	// figures package handles that when p.Telemetry is non-nil.
+	rec := rf.NewRecorder()
+	if rec != nil {
 		p.Telemetry = rec
 	}
-	var reg *telemetry.Registry
-	if *metricsPath != "" {
-		reg = telemetry.NewRegistry()
+	reg := rf.NewRegistry()
+	if reg != nil {
 		prev := p.Observer
 		p.Observer = func(cfg core.Config, mt core.Metrics) {
 			if prev != nil {
@@ -131,15 +129,15 @@ func main() {
 		fmt.Println(p.AblationTreeDepth())
 	}
 
-	if *tracePath != "" {
-		if err := telemetry.WriteTraceFile(*tracePath, rec.Trace); err != nil {
+	if rec != nil {
+		if err := rf.WriteTrace(rec.Trace); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	if *metricsPath != "" {
+	if reg != nil {
 		rec.FillRegistry(reg)
-		if err := telemetry.WriteMetricsFile(*metricsPath, reg); err != nil {
+		if err := rf.WriteMetrics(reg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

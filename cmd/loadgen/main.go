@@ -17,9 +17,10 @@ import (
 	"os"
 	"time"
 
+	"memverify/internal/cache"
 	"memverify/internal/core"
 	"memverify/internal/prefetch"
-	"memverify/internal/profiling"
+	"memverify/internal/runflags"
 	"memverify/internal/shard"
 	"memverify/internal/telemetry"
 	"memverify/internal/trace"
@@ -50,15 +51,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "traffic seed")
 	tamper := flag.Int("tamper", -1, "corrupt this shard's memory after the traffic phase (expect a nonzero exit)")
 	verify := flag.Bool("verify", true, "re-read and verify the whole region after the traffic phase")
-	tracePath := flag.String("trace", "", "write a merged Chrome trace (one process per shard)")
-	metricsPath := flag.String("metrics", "", "write a deterministic JSON metrics snapshot")
 	pf := flag.Bool("prefetch", false, "enable the tree-ancestor prefetcher on every shard's machine")
 	vcLines := flag.Int("verify-cache", 0, "dedicated verification cache size in L2-block lines per shard (0 = share the L2)")
 	vcAssoc := flag.Int("verify-assoc", 0, "dedicated verification cache associativity (0 = the L2's)")
-	prof := profiling.AddFlags()
+	spec := flag.Bool("speculative", false, "run every shard's machine with the speculative verification pipeline; batch Waits become epoch barriers")
+	specWindow := flag.Int("spec-window", 0, "max in-flight speculative checks per shard (0 = default)")
+	rf := runflags.Add()
 	flag.Parse()
 
-	stopProf, err := prof.Start()
+	stopProf, err := rf.StartProfiling()
 	if err != nil {
 		fail(err)
 	}
@@ -89,16 +90,11 @@ func main() {
 	}
 	cfg.VerifyCacheLines = *vcLines
 	cfg.VerifyCacheAssoc = *vcAssoc
+	cfg.Speculative = *spec
+	cfg.SpecWindow = *specWindow
 
-	var recs []*telemetry.Recorder
-	scfg := shard.Config{Machine: cfg, Shards: *shards, QueueDepth: *queueDepth}
-	if *tracePath != "" || *metricsPath != "" {
-		recs = make([]*telemetry.Recorder, *shards)
-		for i := range recs {
-			recs[i] = telemetry.NewRecorder(telemetry.DefaultEventCap)
-		}
-		scfg.Recorders = recs
-	}
+	recs := rf.NewRecorders(*shards)
+	scfg := shard.Config{Machine: cfg, Shards: *shards, QueueDepth: *queueDepth, Recorders: recs}
 	s, err := shard.New(scfg)
 	if err != nil {
 		fail(err)
@@ -213,19 +209,18 @@ func main() {
 
 	s.Close()
 	agg := s.Metrics()
-	if *metricsPath != "" {
-		reg := telemetry.NewRegistry()
+	if reg := rf.NewRegistry(); reg != nil {
 		s.FillRegistry(reg)
-		if err := telemetry.WriteMetricsFile(*metricsPath, reg); err != nil {
+		if err := rf.WriteMetrics(reg); err != nil {
 			fail(err)
 		}
 	}
-	if *tracePath != "" {
+	if recs != nil {
 		traces := make([]*telemetry.Trace, len(recs))
 		for i, r := range recs {
 			traces[i] = r.Trace
 		}
-		if err := telemetry.WriteTraceFiles(*tracePath, traces...); err != nil {
+		if err := rf.WriteTrace(traces...); err != nil {
 			fail(err)
 		}
 	}
@@ -236,6 +231,27 @@ func main() {
 	fmt.Printf("loadgen: ops_per_sec=%.1f bytes_per_sec=%.1f checks=%d machine_cycles=%d\n",
 		float64(agg.OpsSubmitted)/sec, float64(agg.BytesSubmitted)/sec,
 		agg.Total.IntegrityStats.Checks, agg.Total.Result.Cycles)
+	t := &agg.Total
+	if t.VCAccesses > 0 {
+		vs := &t.VCStats
+		fmt.Printf("loadgen: vc accesses=%d hit_rate=%.4f evictions=%d writebacks=%d\n",
+			t.VCAccesses, t.VCHitRate, vs.Evictions[cache.Hash], vs.WriteBacks[cache.Hash])
+	}
+	if ps := &t.PrefetchStats; ps.Observed > 0 {
+		acc := 0.0
+		if ps.Issued > 0 {
+			acc = float64(ps.Useful) / float64(ps.Issued)
+		}
+		fmt.Printf("loadgen: prefetch observed=%d predicted=%d issued=%d useful=%d late=%d dropped=%d accuracy=%.4f\n",
+			ps.Observed, ps.Predicted, ps.Issued, ps.Useful, ps.Late,
+			ps.DroppedResident+ps.DroppedBudget+ps.DroppedBus, acc)
+	}
+	if *spec {
+		sp := &t.Spec
+		fmt.Printf("loadgen: spec checks=%d writebacks=%d overlap_cycles=%d window_stalls=%d barriers=%d barrier_wait_cycles=%d coalesced=%d saved_block_reads=%d\n",
+			sp.Checks, sp.Writebacks, sp.OverlapCycles, sp.WindowStalls, sp.Barriers, sp.BarrierWaitCycles,
+			sp.Coalesced, sp.SavedBlockReads)
+	}
 	if failed {
 		os.Exit(1)
 	}

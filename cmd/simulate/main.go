@@ -14,14 +14,13 @@ import (
 
 	"memverify/internal/core"
 	"memverify/internal/prefetch"
-	"memverify/internal/profiling"
-	"memverify/internal/telemetry"
+	"memverify/internal/runflags"
 	"memverify/internal/trace"
 )
 
 func main() {
 	cfg := core.DefaultConfig()
-	prof := profiling.AddFlags()
+	rf := runflags.Add()
 	scheme := flag.String("scheme", "c", "verification scheme: base, naive, c, m, i")
 	bench := flag.String("bench", "gcc", "benchmark: gcc gzip mcf twolf vortex vpr applu art swim")
 	n := flag.Uint64("n", 1_000_000, "instructions to simulate")
@@ -38,14 +37,14 @@ func main() {
 	table1 := flag.Bool("table1", false, "print Table 1 (architectural parameters) and exit")
 	record := flag.String("record", "", "record the workload's first -n instructions to a trace file and exit")
 	replay := flag.String("replay", "", "drive the simulation from a recorded trace file instead of the synthetic generator")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in Perfetto)")
-	metricsPath := flag.String("metrics", "", "write a deterministic JSON metrics snapshot of the run")
 	pf := flag.Bool("prefetch", false, "enable the tree-ancestor prefetcher")
 	vcLines := flag.Int("verify-cache", 0, "dedicated verification cache size in L2-block lines (0 = share the L2)")
 	vcAssoc := flag.Int("verify-assoc", 0, "dedicated verification cache associativity (0 = the L2's)")
+	spec := flag.Bool("speculative", false, "deliver data before its hash check resolves; checks run in a bounded background window")
+	specWindow := flag.Int("spec-window", 0, "max in-flight speculative checks (0 = default)")
 	flag.Parse()
 
-	stopProf, perr := prof.Start()
+	stopProf, perr := rf.StartProfiling()
 	if perr != nil {
 		fmt.Fprintln(os.Stderr, perr)
 		os.Exit(1)
@@ -77,6 +76,8 @@ func main() {
 	}
 	cfg.VerifyCacheLines = *vcLines
 	cfg.VerifyCacheAssoc = *vcAssoc
+	cfg.Speculative = *spec
+	cfg.SpecWindow = *specWindow
 
 	if *table1 {
 		fmt.Print(cfg.Table1())
@@ -109,11 +110,8 @@ func main() {
 		return
 	}
 
-	var rec *telemetry.Recorder
-	if *tracePath != "" || *metricsPath != "" {
-		rec = telemetry.NewRecorder(telemetry.DefaultEventCap)
-		cfg.Telemetry = rec
-	}
+	rec := rf.NewRecorder()
+	cfg.Telemetry = rec
 
 	m, merr := core.NewMachine(cfg)
 	if merr != nil {
@@ -137,16 +135,15 @@ func main() {
 		mt = m.Run()
 	}
 
-	if *tracePath != "" {
-		if err := telemetry.WriteTraceFile(*tracePath, rec.Trace); err != nil {
+	if rec != nil {
+		if err := rf.WriteTrace(rec.Trace); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	if *metricsPath != "" {
-		reg := telemetry.NewRegistry()
+	if reg := rf.NewRegistry(); reg != nil {
 		m.FillRegistry(reg, &mt)
-		if err := telemetry.WriteMetricsFile(*metricsPath, reg); err != nil {
+		if err := rf.WriteMetrics(reg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -168,5 +165,12 @@ func main() {
 	if ps := mt.PrefetchStats; ps.Observed > 0 {
 		fmt.Printf("  prefetch            issued %d useful %d late %d dropped %d\n",
 			ps.Issued, ps.Useful, ps.Late, ps.DroppedResident+ps.DroppedBudget+ps.DroppedBus)
+	}
+	if cfg.Speculative {
+		sp := mt.Spec
+		fmt.Printf("  speculative         checks %d writebacks %d overlap %d cyc stalls %d peak %d\n",
+			sp.Checks, sp.Writebacks, sp.OverlapCycles, sp.WindowStalls, sp.PendingPeak)
+		fmt.Printf("  walk coalescing     coalesced %d saved block reads %d\n",
+			sp.Coalesced, sp.SavedBlockReads)
 	}
 }

@@ -63,6 +63,11 @@ type Report struct {
 	Scheme   string `json:"scheme"`
 	HashMode string `json:"hash_mode"`
 	Policy   string `json:"policy"`
+	// Speculative campaigns record their pipeline mode and barrier
+	// cadence so a report is self-describing; both omit from blocking
+	// campaigns to keep historical report bytes stable.
+	Speculative  bool `json:"speculative,omitempty"`
+	BarrierEvery int  `json:"barrier_every,omitempty"`
 
 	Injections []Injection `json:"injections"`
 	Summary    Summary     `json:"summary"`

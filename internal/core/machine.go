@@ -122,6 +122,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 		Policy:      policy,
 		OnViolation: m.noteViolation,
 		VC:          m.VC,
+		Speculative: cfg.Speculative,
+	}
+	if cfg.Speculative {
+		m.Sys.Pending = integrity.NewPendingChecks(cfg.SpecWindow)
 	}
 	if treeCaching && cfg.Prefetch.Enabled {
 		m.Sys.Prefetch = prefetch.New(cfg.Prefetch)
@@ -138,6 +142,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 		if p := rec.Probes; p != nil {
 			m.Sys.Unit.ReadBuf.Occ = p.ReadBufOcc
 			m.Sys.Unit.WriteBuf.Occ = p.WriteBufOcc
+			if m.Sys.Pending != nil {
+				m.Sys.Pending.Occ = p.SpecOcc
+				m.Sys.Pending.Overlap = p.SpecOverlap
+			}
 		}
 		if rec.BusWindowCycles > 0 {
 			m.Bus.SetWindow(rec.BusWindowCycles)
@@ -287,9 +295,53 @@ func (m *Machine) UnprotectedBase() uint64 {
 }
 
 // Flush drains all dirty cached state through the engine — the
-// cryptographic barrier of §5.8 and step 3 of initialization.
+// cryptographic barrier of §5.8 and step 3 of initialization. It is an
+// implicit barrier: in speculative mode every outstanding background
+// check resolves (applying violation policy) before it returns. Unlike
+// Barrier, it does not end the epoch or report a ViolationError.
 func (m *Machine) Flush() {
 	m.now = m.Engine.Flush(m.now)
+	m.syncChecks()
+}
+
+// Barrier is the epoch commit point of the speculative verification
+// pipeline — flush-before-commit in the §4.1 certified-execution sense:
+// it blocks (in simulated time) until every outstanding background check
+// and posted write-back has resolved, applies the violation policy to
+// anything that was deferred, and returns the first ViolationError
+// detected since the previous barrier (nil on a clean epoch). The
+// returned violation's Epoch field names the epoch that contained it.
+// Barrier is meaningful in blocking mode too, where it only advances the
+// clock past the §5.8 background checks and reports the epoch's first
+// violation.
+func (m *Machine) Barrier() error {
+	start := m.now
+	if t := m.Sys.ChecksDone(); t > m.now {
+		m.now = t
+	}
+	if p := m.Sys.Pending; p != nil {
+		p.Stat.Barriers++
+		p.Stat.BarrierWaitCycles += m.now - start
+	}
+	if v := m.Sys.EndEpoch(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// syncChecks makes the current operation an implicit barrier in
+// speculative mode: the clock advances past every outstanding check and
+// all deferred violations resolve. Blocking mode is untouched — nothing
+// is ever deferred and the clock semantics stay bit-identical to the
+// pre-speculative simulator.
+func (m *Machine) syncChecks() {
+	if !m.Cfg.Speculative {
+		return
+	}
+	if t := m.Sys.ChecksDone(); t > m.now {
+		m.now = t
+	}
+	m.Sys.ResolvePending(m.now)
 }
 
 // StoreBytes performs a program store of p at data offset off with real
@@ -300,6 +352,9 @@ func (m *Machine) Flush() {
 func (m *Machine) StoreBytes(off uint64, p []byte) error {
 	if !m.Cfg.Functional {
 		return fmt.Errorf("core: StoreBytes requires a functional machine")
+	}
+	if m.Sys.Pending != nil {
+		m.Sys.ResolvePending(m.now)
 	}
 	if m.halted {
 		return fmt.Errorf("%w (%v)", ErrHalted, m.haltCause)
@@ -336,6 +391,9 @@ func (m *Machine) LoadBytes(off uint64, p []byte) error {
 	if !m.Cfg.Functional {
 		return fmt.Errorf("core: LoadBytes requires a functional machine")
 	}
+	if m.Sys.Pending != nil {
+		m.Sys.ResolvePending(m.now)
+	}
 	if m.halted {
 		return fmt.Errorf("%w (%v)", ErrHalted, m.haltCause)
 	}
@@ -345,7 +403,10 @@ func (m *Machine) LoadBytes(off uint64, p []byte) error {
 		a := m.ProgAddr(off + uint64(i))
 		m.now = h.l2data(m.now, a, false, p[i:i+1])
 	}
-	if m.Sys.Stat.Violations > before {
+	// In speculative mode the load returns its data before the background
+	// check resolves; the violation surfaces at the next Barrier (or
+	// poisons later accesses under the halt policy) instead of here.
+	if !m.Cfg.Speculative && m.Sys.Stat.Violations > before {
 		return m.Sys.First
 	}
 	return nil
@@ -460,10 +521,15 @@ func (h *hierarchy) l2data(now uint64, addr uint64, write bool, p []byte) uint64
 }
 
 // Barrier implements cpu.BarrierPort: a cryptographic instruction may not
-// complete before every outstanding integrity check has (§5.8).
+// complete before every outstanding integrity check has (§5.8). In
+// speculative mode it also resolves deferred violations — the checks it
+// just waited for have, by then, completed.
 func (h *hierarchy) Barrier(now uint64) uint64 {
 	if t := h.Sys.ChecksDone(); t > now {
-		return t
+		now = t
+	}
+	if h.Sys.Pending != nil {
+		h.Sys.ResolvePending(now)
 	}
 	return now
 }

@@ -306,9 +306,12 @@ func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img [
 	// 3. The arriving chunk enters the read buffer (Figure 2a) and stays
 	// until its check completes. A full buffer back-pressures the
 	// transfer: delivery — including the speculative copy to the
-	// processor — waits for a free entry.
+	// processor — waits for a free entry. The speculative pipeline
+	// decouples delivery from buffer admission: the check is still delayed
+	// by buffer pressure (bufStart), but the processor only stalls when
+	// the bounded pending window fills.
 	idx, bufStart := s.Unit.ReadBuf.Acquire(dataDone)
-	if bufStart > dataDone && bufStart > ready {
+	if bufStart > dataDone && bufStart > ready && !s.Speculative {
 		ready = bufStart
 	}
 	hdone := s.Unit.Hash(bufStart, s.Layout.ChunkSize)
@@ -355,7 +358,7 @@ func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img [
 					}
 				}
 				if failed {
-					s.violation(c, e.scheme, detail)
+					s.violation(checkDone, c, e.scheme, detail)
 				}
 			}
 		}
@@ -368,6 +371,19 @@ func (e *Cached) readAndCheckChunk(now uint64, c uint64, demandBA uint64) (img [
 	}
 	s.Unit.ReadBuf.Release(idx, checkDone)
 	s.noteCheck(checkDone)
+	if s.Speculative && s.Pending != nil && demandBA != noDemand {
+		if floor := s.Pending.Admit(ready, checkDone, false); floor > ready {
+			ready = floor
+		}
+		if s.Tel != nil {
+			end := checkDone
+			if end < ready {
+				end = ready
+			}
+			s.Tel.Emit(telemetry.TrackSpec, telemetry.KindSpecCheck,
+				ready, end, c, s.Pending.Outstanding(ready))
+		}
+	}
 	s.Tel.Emit(telemetry.TrackIntegrity, telemetry.KindTreeWalk,
 		now, checkDone, c, s.Stat.ExtraBlockReads-extrasBefore)
 	if demandBA != noDemand && s.CheckReads {
@@ -713,6 +729,11 @@ func (e *Cached) evictCached(now uint64, line cache.Line) uint64 {
 	s.Unit.WriteBuf.Release(idx, done)
 	s.noteCheck(done)
 	s.Tel.Emit(telemetry.TrackIntegrity, telemetry.KindWriteBack, now, done, c, 0)
+	if s.Speculative && s.Pending != nil {
+		// Async commit: release the processor at write-buffer acceptance;
+		// the record update drains behind it, bounded by the pending window.
+		return s.Pending.Admit(start, done, true)
+	}
 	return done
 }
 
@@ -736,12 +757,19 @@ func unprotectedRead(s *System, now uint64, addr uint64, evict func(uint64, cach
 	return critical
 }
 
-// unprotectedEvict writes back a block outside the protected region.
+// unprotectedEvict writes back a block outside the protected region. In
+// speculative mode the write is posted: the processor continues at once
+// while the transfer drains, and barriers wait for it via noteCheck.
 func unprotectedEvict(s *System, now uint64, line cache.Line) uint64 {
 	s.Stat.Evictions++
 	s.Stat.DataBlockWrites++
 	if s.Functional {
 		s.Mem.Write(line.Addr, line.Data)
 	}
-	return s.DRAM.Write(now, s.BlockSize(), bus.Data)
+	d := s.DRAM.Write(now, s.BlockSize(), bus.Data)
+	if s.Speculative {
+		s.noteCheck(d)
+		return now
+	}
+	return d
 }

@@ -1,0 +1,284 @@
+package integrity
+
+import "memverify/internal/stats"
+
+// SpecStats counts the speculative-verification pipeline's activity: how
+// many checks ran in the background, how often the bounded in-flight
+// window pushed back on delivery, how much verify latency was hidden
+// behind the CPU (overlap), and how violations moved through the
+// deferred-resolution path. Zero in blocking mode. Kept outside Stats so
+// the cross-mode equivalence suite can compare Metrics minus timing.
+type SpecStats struct {
+	Checks     uint64 // demand-read checks admitted to the pending window
+	Writebacks uint64 // write-back walks admitted to the pending window
+
+	WindowStalls      uint64 // admissions that waited for a window slot
+	WindowStallCycles uint64 // delivery cycles spent waiting for a slot
+	PendingPeak       uint64 // peak outstanding checks observed at admission
+	OverlapCycles     uint64 // sum of (check done - data delivered): hidden verify latency
+
+	DeferredViolations uint64 // violations parked for later resolution
+	ResolvedViolations uint64 // deferred violations whose policy has been applied
+
+	Coalesced       uint64 // read walks cut short at an in-flight ancestor (HMT-style)
+	SavedBlockReads uint64 // ancestor block reads those coalesced walks skipped
+
+	Barriers          uint64 // explicit Machine.Barrier calls
+	BarrierWaitCycles uint64 // cycles barriers spent draining outstanding checks
+}
+
+// Merge accumulates o into s. PendingPeak merges as a maximum, everything
+// else sums — matching how core.MergeMetrics aggregates shards.
+func (s *SpecStats) Merge(o *SpecStats) {
+	s.Checks += o.Checks
+	s.Writebacks += o.Writebacks
+	s.WindowStalls += o.WindowStalls
+	s.WindowStallCycles += o.WindowStallCycles
+	if o.PendingPeak > s.PendingPeak {
+		s.PendingPeak = o.PendingPeak
+	}
+	s.OverlapCycles += o.OverlapCycles
+	s.DeferredViolations += o.DeferredViolations
+	s.ResolvedViolations += o.ResolvedViolations
+	s.Coalesced += o.Coalesced
+	s.SavedBlockReads += o.SavedBlockReads
+	s.Barriers += o.Barriers
+	s.BarrierWaitCycles += o.BarrierWaitCycles
+}
+
+// DefaultSpecWindow is the pending-check window depth used when the
+// configuration leaves SpecWindow at zero: enough to cover the hash
+// buffers plus queued walks without letting checks pile up unboundedly.
+const DefaultSpecWindow = 64
+
+// coverEntry pins the memory image of one tree chunk for the lifetime of
+// the window buffer slot holding the walk that fetched it.
+type coverEntry struct {
+	img  []byte
+	done uint64 // the fetching walk's check completion (inherited by coalesced walks)
+	seq  uint64 // admission count at registration; recycled after window-depth more
+}
+
+// deferredViolation is one detected-but-unresolved violation: the walk
+// that found it has been issued, its policy consequences (halt, observer
+// callback) apply once simulated time reaches resolveAt or a barrier
+// drains the pipeline.
+type deferredViolation struct {
+	v         *ViolationError
+	resolveAt uint64
+}
+
+// PendingChecks tracks the speculative mode's outstanding background
+// verifications. It is a timing model, not a work queue: every check
+// still executes functionally at the moment the access runs (the
+// simulator is single-threaded), but its completion cycle is parked here
+// so (a) delivery stalls when more than window-size checks would be in
+// flight, and (b) violation policy is applied only when the check would
+// actually have resolved — at its completion cycle or at a barrier.
+//
+// The window is a ring of the completion cycles of the last len(window)
+// admitted checks. Admitting against a full ring returns the oldest
+// completion cycle as the delivery floor: the CPU cannot retire a new
+// speculative result until the oldest outstanding check has drained.
+type PendingChecks struct {
+	window []uint64
+	head   int // oldest entry when count == len(window)
+	count  int
+
+	deferred []deferredViolation
+
+	// cover maps a tree chunk to the image the walk occupying one of the
+	// window's buffer slots fetched it with: a later read walk reaching
+	// the chunk can stop there, verify against the pinned image and
+	// inherit the covering check's verdict — the HMT-style sharing of
+	// ancestors between multiple in-flight verifications. An entry stays
+	// resident until its slot is recycled (window-depth admissions later)
+	// or a barrier closes the epoch; a resident entry whose check has
+	// already resolved is trusted on-chip state, exactly like a §5.8
+	// buffer entry whose check has drained. The store is W×ChunkSize
+	// bytes of dedicated buffer storage, not a cache: nothing survives a
+	// barrier and there is no replacement policy beyond slot recycling.
+	cover map[uint64]coverEntry
+	seq   uint64 // admissions so far; stamps cover entries for recycling
+
+	Stat SpecStats
+
+	// Occ and Overlap are optional telemetry probes: outstanding checks
+	// observed at each admission, and per-check hidden verify latency.
+	Occ     *stats.Histogram
+	Overlap *stats.Histogram
+}
+
+// NewPendingChecks returns a tracker with the given window depth
+// (<= 0 selects DefaultSpecWindow).
+func NewPendingChecks(window int) *PendingChecks {
+	if window <= 0 {
+		window = DefaultSpecWindow
+	}
+	return &PendingChecks{window: make([]uint64, window)}
+}
+
+// Window returns the configured window depth.
+func (p *PendingChecks) Window() int { return len(p.window) }
+
+// Outstanding returns how many tracked checks are still running at now.
+func (p *PendingChecks) Outstanding(now uint64) uint64 {
+	var n uint64
+	for i := 0; i < p.count; i++ {
+		if p.window[(p.head+i)%len(p.window)] > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Admit records a background check completing at done whose data was
+// ready for speculative delivery at now, and returns the delivery floor:
+// now, or later if the bounded window forced the delivery to wait for
+// the oldest outstanding check to drain.
+func (p *PendingChecks) Admit(now, done uint64, writeback bool) uint64 {
+	p.seq++
+	if writeback {
+		p.Stat.Writebacks++
+	} else {
+		p.Stat.Checks++
+	}
+	occ := p.Outstanding(now)
+	if occ+1 > p.Stat.PendingPeak {
+		p.Stat.PendingPeak = occ + 1
+	}
+	if p.Occ != nil {
+		p.Occ.Observe(occ)
+	}
+	if done > now {
+		p.Stat.OverlapCycles += done - now
+		if p.Overlap != nil {
+			p.Overlap.Observe(done - now)
+		}
+	}
+	floor := now
+	if p.count == len(p.window) {
+		if oldest := p.window[p.head]; oldest > floor {
+			p.Stat.WindowStalls++
+			p.Stat.WindowStallCycles += oldest - floor
+			floor = oldest
+		}
+		p.window[p.head] = done
+		p.head = (p.head + 1) % len(p.window)
+	} else {
+		p.window[(p.head+p.count)%len(p.window)] = done
+		p.count++
+	}
+	return floor
+}
+
+// Cover returns the pinned image and check-completion cycle of a
+// window-resident walk covering chunk c. Entries whose buffer slot has
+// been recycled (registered more than window-depth admissions ago) are
+// dropped on the way.
+func (p *PendingChecks) Cover(c uint64, start uint64) ([]byte, uint64, bool) {
+	ent, ok := p.cover[c]
+	if !ok {
+		return nil, 0, false
+	}
+	if p.seq-ent.seq > uint64(len(p.window)) {
+		delete(p.cover, c)
+		return nil, 0, false
+	}
+	return ent.img, ent.done, true
+}
+
+// AddCover pins a copy of img as chunk c's resident image; the covering
+// check completes at done. Re-registration refreshes the slot.
+func (p *PendingChecks) AddCover(c uint64, img []byte, done uint64) {
+	if p.cover == nil {
+		p.cover = make(map[uint64]coverEntry)
+	}
+	ent := p.cover[c]
+	if cap(ent.img) >= len(img) {
+		ent.img = ent.img[:len(img)]
+	} else {
+		ent.img = make([]byte, len(img))
+	}
+	copy(ent.img, img)
+	ent.done = done
+	ent.seq = p.seq
+	p.cover[c] = ent
+}
+
+// DropCover invalidates chunk c's pinned image. Update walks call this
+// for every chunk they rewrite: the pinned image predates the update, and
+// a later walk verifying against it would flag a clean run.
+func (p *PendingChecks) DropCover(c uint64) {
+	delete(p.cover, c)
+}
+
+// clearCover empties the cover store — the barrier path, after which no
+// check is outstanding and no image is pinned.
+func (p *PendingChecks) clearCover() {
+	for c := range p.cover {
+		delete(p.cover, c)
+	}
+}
+
+// Defer parks a detected violation until simulated time reaches
+// resolveAt (its check's completion cycle) or a barrier drains the
+// pipeline. Detection statistics are recorded by the caller at detect
+// time; only the policy consequences wait.
+func (p *PendingChecks) Defer(v *ViolationError, resolveAt uint64) {
+	p.Stat.DeferredViolations++
+	p.deferred = append(p.deferred, deferredViolation{v: v, resolveAt: resolveAt})
+}
+
+// ResolveUpTo applies (in deferral order) every parked violation whose
+// check has completed by now.
+func (p *PendingChecks) ResolveUpTo(now uint64, apply func(*ViolationError)) {
+	if len(p.deferred) == 0 {
+		return
+	}
+	kept := p.deferred[:0]
+	for _, d := range p.deferred {
+		if d.resolveAt <= now {
+			p.Stat.ResolvedViolations++
+			if apply != nil {
+				apply(d.v)
+			}
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	tail := p.deferred[len(kept):]
+	for i := range tail {
+		tail[i] = deferredViolation{}
+	}
+	p.deferred = kept
+}
+
+// ResolveAll applies every parked violation regardless of time — the
+// barrier path, which by construction waits for ChecksDone and therefore
+// for every resolveAt.
+func (p *PendingChecks) ResolveAll(apply func(*ViolationError)) {
+	for _, d := range p.deferred {
+		p.Stat.ResolvedViolations++
+		if apply != nil {
+			apply(d.v)
+		}
+	}
+	p.deferred = p.deferred[:0]
+	p.clearCover()
+}
+
+// PendingViolations returns how many detected violations are still
+// awaiting resolution.
+func (p *PendingChecks) PendingViolations() int { return len(p.deferred) }
+
+// Reset clears tracked checks, parked violations and statistics.
+func (p *PendingChecks) Reset() {
+	for i := range p.window {
+		p.window[i] = 0
+	}
+	p.head, p.count = 0, 0
+	p.deferred = p.deferred[:0]
+	p.clearCover()
+	p.Stat = SpecStats{}
+}

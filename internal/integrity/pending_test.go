@@ -1,0 +1,117 @@
+package integrity
+
+import "testing"
+
+func TestPendingAdmitWindowFloor(t *testing.T) {
+	p := NewPendingChecks(2)
+	if got := p.Admit(10, 100, false); got != 10 {
+		t.Errorf("first admission floored delivery to %d, want 10", got)
+	}
+	if got := p.Admit(20, 200, false); got != 20 {
+		t.Errorf("second admission floored delivery to %d, want 20", got)
+	}
+	// Window full: the third admission waits for the oldest check (100).
+	if got := p.Admit(30, 300, false); got != 100 {
+		t.Errorf("full-window admission returned %d, want 100", got)
+	}
+	if p.Stat.WindowStalls != 1 || p.Stat.WindowStallCycles != 70 {
+		t.Errorf("stall counters = %d/%d cycles, want 1/70",
+			p.Stat.WindowStalls, p.Stat.WindowStallCycles)
+	}
+	// Oldest is now 200; an admission already past it does not stall.
+	if got := p.Admit(250, 400, false); got != 250 {
+		t.Errorf("post-drain admission returned %d, want 250", got)
+	}
+	if p.Stat.Checks != 4 {
+		t.Errorf("admitted checks = %d, want 4", p.Stat.Checks)
+	}
+}
+
+func TestPendingOutstandingAndOverlap(t *testing.T) {
+	p := NewPendingChecks(4)
+	p.Admit(0, 50, false)
+	p.Admit(10, 80, true)
+	if n := p.Outstanding(40); n != 2 {
+		t.Errorf("outstanding at 40 = %d, want 2", n)
+	}
+	if n := p.Outstanding(60); n != 1 {
+		t.Errorf("outstanding at 60 = %d, want 1", n)
+	}
+	if p.Stat.OverlapCycles != 50+70 {
+		t.Errorf("overlap cycles = %d, want 120", p.Stat.OverlapCycles)
+	}
+	if p.Stat.Checks != 1 || p.Stat.Writebacks != 1 {
+		t.Errorf("checks/writebacks = %d/%d, want 1/1", p.Stat.Checks, p.Stat.Writebacks)
+	}
+}
+
+func TestPendingDeferredResolution(t *testing.T) {
+	p := NewPendingChecks(4)
+	var applied []uint64
+	apply := func(v *ViolationError) { applied = append(applied, v.Chunk) }
+
+	p.Defer(&ViolationError{Chunk: 1}, 100)
+	p.Defer(&ViolationError{Chunk: 2}, 200)
+	p.ResolveUpTo(50, apply)
+	if len(applied) != 0 {
+		t.Fatalf("violations resolved before their checks completed: %v", applied)
+	}
+	p.ResolveUpTo(150, apply)
+	if len(applied) != 1 || applied[0] != 1 {
+		t.Fatalf("resolve up to 150 applied %v, want [1]", applied)
+	}
+	p.ResolveAll(apply)
+	if len(applied) != 2 || applied[1] != 2 {
+		t.Fatalf("resolve all applied %v, want [1 2]", applied)
+	}
+	if p.PendingViolations() != 0 {
+		t.Errorf("%d violations still parked after ResolveAll", p.PendingViolations())
+	}
+	if p.Stat.DeferredViolations != 2 || p.Stat.ResolvedViolations != 2 {
+		t.Errorf("deferred/resolved = %d/%d, want 2/2",
+			p.Stat.DeferredViolations, p.Stat.ResolvedViolations)
+	}
+}
+
+func TestPendingCoverLifecycle(t *testing.T) {
+	p := NewPendingChecks(2)
+	img := []byte{1, 2, 3, 4}
+	p.AddCover(7, img, 500)
+	img[0] = 0xFF // the pinned copy must not alias the caller's buffer
+	got, done, ok := p.Cover(7, 100)
+	if !ok || done != 500 || got[0] != 1 {
+		t.Fatalf("cover(7) = %v/%d/%v, want pinned copy at done 500", got, done, ok)
+	}
+
+	// The slot is recycled after window-depth further admissions.
+	p.Admit(0, 10, false)
+	p.Admit(0, 20, false)
+	if _, _, ok := p.Cover(7, 100); !ok {
+		t.Fatal("cover dropped while its slot was still resident")
+	}
+	p.Admit(0, 30, false)
+	if _, _, ok := p.Cover(7, 100); ok {
+		t.Fatal("cover survived its slot being recycled")
+	}
+
+	p.AddCover(8, []byte{9}, 50)
+	p.DropCover(8)
+	if _, _, ok := p.Cover(8, 0); ok {
+		t.Fatal("cover survived DropCover")
+	}
+
+	p.AddCover(9, []byte{9}, 50)
+	p.ResolveAll(nil)
+	if _, _, ok := p.Cover(9, 0); ok {
+		t.Fatal("cover survived the barrier path (ResolveAll)")
+	}
+}
+
+func TestSpecStatsMerge(t *testing.T) {
+	a := SpecStats{Checks: 1, PendingPeak: 3, Coalesced: 2, SavedBlockReads: 10}
+	b := SpecStats{Checks: 2, PendingPeak: 5, Coalesced: 1, SavedBlockReads: 4, Barriers: 7}
+	a.Merge(&b)
+	if a.Checks != 3 || a.PendingPeak != 5 || a.Coalesced != 3 || a.SavedBlockReads != 14 || a.Barriers != 7 {
+		t.Errorf("merge produced %+v", a)
+	}
+}

@@ -82,6 +82,7 @@ type Store struct {
 	shardSpan uint64 // bytes of program data per shard
 	span      uint64 // total program data bytes
 	halt      bool   // template policy is "halt"
+	spec      bool   // template runs the speculative pipeline
 	closed    atomic.Bool
 
 	ops   atomic.Uint64
@@ -118,6 +119,7 @@ func New(cfg Config) (*Store, error) {
 	s := &Store{
 		shards: make([]*worker, cfg.Shards),
 		halt:   cfg.Machine.ViolationPolicy == "halt",
+		spec:   cfg.Machine.Speculative,
 		halted: make([]bool, cfg.Shards),
 	}
 	for i := range s.shards {
@@ -199,12 +201,15 @@ type Batch struct {
 	s  *Store
 	wg sync.WaitGroup
 
-	mu   sync.Mutex
-	errs []error
+	mu      sync.Mutex
+	errs    []error
+	touched []bool // shards this batch has submitted to since the last Wait
 }
 
 // NewBatch starts an empty batch.
-func (s *Store) NewBatch() *Batch { return &Batch{s: s} }
+func (s *Store) NewBatch() *Batch {
+	return &Batch{s: s, touched: make([]bool, len(s.shards))}
+}
 
 func (b *Batch) note(err error) {
 	b.mu.Lock()
@@ -221,14 +226,33 @@ func (b *Batch) Store(off uint64, p []byte) { b.s.submit(b, off, p, true) }
 
 // Wait blocks until every submitted operation completed and returns the
 // joined per-shard errors (each wrapped with the shard that produced it;
-// errors.Is(err, core.ErrHalted) still works through the wrapping).
+// errors.Is(err, core.ErrHalted) still works through the wrapping). When
+// the store runs the speculative pipeline, Wait is also an epoch barrier:
+// it joins a Machine.Barrier on every shard this batch touched, so any
+// violation a speculatively delivered load deferred surfaces here rather
+// than silently escaping the batch.
 func (b *Batch) Wait() error {
 	b.wg.Wait()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	err := errors.Join(b.errs...)
+	errs := b.errs
 	b.errs = nil
-	return err
+	var joins []int
+	if b.s.spec {
+		for i, t := range b.touched {
+			if t {
+				joins = append(joins, i)
+				b.touched[i] = false
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, i := range joins {
+		sh := i
+		if err := b.s.do(sh, func(m *core.Machine) error { return m.Barrier() }); err != nil {
+			errs = append(errs, b.s.wrap(sh, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // submit routes one operation, splitting spans that cross shard
@@ -248,6 +272,11 @@ func (s *Store) submit(b *Batch, off uint64, p []byte, write bool) {
 			n = uint64(len(p))
 		}
 		b.wg.Add(1)
+		if s.spec {
+			b.mu.Lock()
+			b.touched[sh] = true
+			b.mu.Unlock()
+		}
 		s.shards[sh].reqs <- request{off: local, data: p[:n:n], write: write, batch: b}
 		off += n
 		p = p[n:]
@@ -311,6 +340,15 @@ func (s *Store) wrap(i int, err error) error {
 	return fmt.Errorf("shard %d [%#x,%#x): %w", i, lo, hi, err)
 }
 
+// Barrier runs Machine.Barrier on every shard concurrently and joins the
+// results: it blocks until no shard has an outstanding speculative check,
+// ends each shard's epoch, and returns the first deferred violation of
+// each shard that had one (wrapped with its shard index). In blocking
+// mode it is a cheap no-op epoch advance.
+func (s *Store) Barrier() error {
+	return s.doAll(func(_ int, m *core.Machine) error { return m.Barrier() })
+}
+
 // Flush drains every shard's dirty cached state through its engine — the
 // cross-shard cryptographic barrier (§5.8 per shard, all shards reaching
 // it before Flush returns).
@@ -339,6 +377,12 @@ func (s *Store) VerifyAll() error {
 			if err := m.LoadBytes(off, buf[:n]); err != nil {
 				return err
 			}
+		}
+		// Speculatively delivered re-reads defer their verdicts; the
+		// epoch barrier forces every outstanding check to resolve so a
+		// tampered shard cannot verify clean.
+		if m.Cfg.Speculative {
+			return m.Barrier()
 		}
 		return nil
 	})

@@ -358,3 +358,76 @@ func TestFillRegistryAggregates(t *testing.T) {
 		t.Error("aggregate lost integrity checks")
 	}
 }
+
+// TestSpeculativeBatchCommit pins the async-commit contract: with a
+// speculative template, Batch.Wait joins an epoch barrier on every shard
+// the batch touched, so a tamper under in-flight batch traffic surfaces
+// from Wait itself — never from a later unrelated operation — and the
+// aggregate carries the merged pipeline counters.
+func TestSpeculativeBatchCommit(t *testing.T) {
+	cfg := storeCfg(core.SchemeNaive)
+	cfg.Speculative = true
+	s, err := New(Config{Machine: cfg, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := bytes.Repeat([]byte{0x42}, 1024)
+	seed := s.NewBatch()
+	for i := 0; i < 4; i++ {
+		lo, _ := s.ShardRange(i)
+		seed.Store(lo, p)
+	}
+	if err := seed.Wait(); err != nil {
+		t.Fatalf("clean seeding batch: %v", err)
+	}
+
+	const victim = 1
+	s.WithShard(victim, func(m *core.Machine) {
+		m.EvictProtected()
+		m.Adversary().Corrupt(m.ProgAddr(16), 0xEE)
+	})
+
+	b := s.NewBatch()
+	buf := make([][]byte, 4)
+	for i := 0; i < 4; i++ {
+		lo, _ := s.ShardRange(i)
+		buf[i] = make([]byte, 1024)
+		b.Load(lo, buf[i])
+	}
+	err = b.Wait()
+	if err == nil {
+		t.Fatal("batch over a tampered shard committed clean")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("shard %d", victim)) {
+		t.Errorf("violation not attributed to shard %d: %v", victim, err)
+	}
+	for i := 0; i < 4; i++ {
+		if i != victim && !bytes.Equal(buf[i], p) {
+			t.Errorf("healthy shard %d delivered wrong bytes", i)
+		}
+	}
+
+	agg := s.Metrics()
+	if agg.Total.Spec.Checks == 0 {
+		t.Error("aggregate lost speculative check counters")
+	}
+	if agg.Total.Spec.Barriers == 0 {
+		t.Error("batch commits recorded no epoch barriers")
+	}
+	if agg.Total.Violations == 0 {
+		t.Error("aggregate lost the detected violation")
+	}
+
+	// The healthy shards still verify clean afterwards.
+	for i := 0; i < 4; i++ {
+		if i == victim {
+			continue
+		}
+		lo, _ := s.ShardRange(i)
+		if err := s.LoadBytes(lo, make([]byte, 1024)); err != nil {
+			t.Errorf("neighbor shard %d false positive after commit: %v", i, err)
+		}
+	}
+}
