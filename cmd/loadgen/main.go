@@ -1,9 +1,22 @@
-// Command loadgen drives mixed read/write traffic through a sharded
+// Command loadgen drives read/write traffic through a sharded
 // verification store (internal/shard) and reports verified throughput.
 // Every read is checked against a per-worker mirror of the bytes the
 // store should hold, and the final region is re-verified through the hash
 // machinery, so a nonzero exit means a real integrity or consistency
 // failure — the CI smoke test relies on that.
+//
+// Traffic shape is selected with -workload: the default mixed uniform
+// traffic, plus the disk-style generators the cloud-storage literature
+// assumes — seq (streaming), zipf (hot-spot skew) and appendlog
+// (append-only writes with trailing reads). All are deterministic per
+// seed.
+//
+// With -persist DIR the store checkpoints through internal/persist every
+// -checkpoint-every ops per worker, and the kill/restart flags exercise
+// crash recovery end to end:
+//
+//	loadgen -persist d -kill-after 2 -kill-stage seg-write   # dies (exit 3)
+//	loadgen -persist d -restart -expect-outcome recovered-clean,recovered-torn
 //
 // Usage:
 //
@@ -11,14 +24,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"memverify/internal/cache"
 	"memverify/internal/core"
+	"memverify/internal/persist"
 	"memverify/internal/prefetch"
 	"memverify/internal/runflags"
 	"memverify/internal/shard"
@@ -26,12 +42,112 @@ import (
 	"memverify/internal/trace"
 )
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "loadgen:", err)
-	os.Exit(1)
-}
+// errKilled signals the simulated process death of -kill-after: main
+// exits 3 so scripts can tell "died at the kill point as asked" from
+// failure.
+var errKilled = errors.New("killed at the injected crash point")
+
+// errFailed signals a failure whose message was already printed.
+var errFailed = errors.New("failed")
 
 func main() {
+	err := run()
+	switch {
+	case err == nil:
+	case errors.Is(err, errKilled):
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(3)
+	case errors.Is(err, errFailed):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// opGen produces one worker's deterministic operation stream.
+type opGen struct {
+	kind      string
+	rng       *rand.Rand
+	stripe    uint64
+	maxLen    int
+	writeFrac float64
+
+	head uint64     // seq / appendlog write cursor
+	zipf *rand.Zipf // zipf block sampler
+}
+
+func newOpGen(kind string, seed int64, stripe uint64, maxLen int, writeFrac float64) (*opGen, error) {
+	g := &opGen{kind: kind, rng: rand.New(rand.NewSource(seed)), stripe: stripe,
+		maxLen: maxLen, writeFrac: writeFrac}
+	switch kind {
+	case "mixed", "seq", "appendlog":
+	case "zipf":
+		blocks := stripe / 64
+		if blocks < 2 {
+			return nil, fmt.Errorf("stripe %d too small for the zipf workload", stripe)
+		}
+		g.zipf = rand.NewZipf(g.rng, 1.2, 1, blocks-1)
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want mixed, seq, zipf or appendlog)", kind)
+	}
+	return g, nil
+}
+
+// next returns the offset, length and direction of the next operation.
+// Offsets are stripe-relative and always satisfy off+len <= stripe.
+func (g *opGen) next() (off uint64, length int, write bool) {
+	length = 1 + g.rng.Intn(g.maxLen)
+	limit := g.stripe - uint64(length)
+	switch g.kind {
+	case "seq":
+		// Streaming: a cursor sweeps the stripe; reads trail the cursor.
+		if g.head > limit {
+			g.head = 0
+		}
+		off = g.head
+		g.head += uint64(length)
+		write = g.rng.Float64() < g.writeFrac
+	case "zipf":
+		// Hot-spot skew: block popularity is zipf-distributed, the byte
+		// inside the block uniform.
+		off = g.zipf.Uint64() * 64
+		if off > limit {
+			off = limit
+		}
+		write = g.rng.Float64() < g.writeFrac
+	case "appendlog":
+		// Append-only writes at the head; reads sample the recent
+		// window, like a log follower.
+		if g.rng.Float64() < g.writeFrac {
+			if g.head > limit {
+				g.head = 0
+			}
+			off = g.head
+			g.head += uint64(length)
+			write = true
+		} else {
+			window := uint64(16 << 10)
+			if window > g.head {
+				window = g.head
+			}
+			if window == 0 {
+				off = 0
+			} else {
+				off = g.head - 1 - g.rng.Uint64()%window
+			}
+			if off > limit {
+				off = limit
+			}
+		}
+	default: // mixed
+		off = g.rng.Uint64() % (limit + 1)
+		write = g.rng.Float64() < g.writeFrac
+	}
+	return off, length, write
+}
+
+func run() error {
 	cfg := core.DefaultConfig()
 	scheme := flag.String("scheme", "c", "verification scheme: naive, c, m, i")
 	shards := flag.Int("shards", 4, "number of independent verification shards")
@@ -56,12 +172,20 @@ func main() {
 	vcAssoc := flag.Int("verify-assoc", 0, "dedicated verification cache associativity (0 = the L2's)")
 	spec := flag.Bool("speculative", false, "run every shard's machine with the speculative verification pipeline; batch Waits become epoch barriers")
 	specWindow := flag.Int("spec-window", 0, "max in-flight speculative checks per shard (0 = default)")
+	workload := flag.String("workload", "mixed", "traffic shape: mixed, seq, zipf, appendlog")
+	persistDir := flag.String("persist", "", "checkpoint the store into this directory (enables the persistence layer)")
+	ckptEvery := flag.Int("checkpoint-every", 2000, "ops per worker between checkpoints (persist mode)")
+	killAfter := flag.Int("kill-after", 0, "die at -kill-stage during the Nth checkpoint (persist mode; exit 3)")
+	killStage := flag.String("kill-stage", persist.StageSegWrite,
+		"crash point: wal-write, wal-sync, between-wal-checkpoint, seg-write, seg-sync, manifest-write, manifest-rename, any")
+	restart := flag.Bool("restart", false, "recover the store from -persist before generating traffic")
+	expectOutcome := flag.String("expect-outcome", "", "with -restart: comma-separated acceptable recovery outcomes; exit 0 on match without running traffic, 1 otherwise")
 	rf := runflags.Add()
 	flag.Parse()
 
 	stopProf, err := rf.StartProfiling()
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer stopProf()
 
@@ -93,100 +217,73 @@ func main() {
 	cfg.Speculative = *spec
 	cfg.SpecWindow = *specWindow
 
+	if *workers < 1 || *ops < 1 || *batch < 1 || *maxLen < 1 {
+		return fmt.Errorf("workers, ops, batch and max-len must be positive")
+	}
+
 	recs := rf.NewRecorders(*shards)
 	scfg := shard.Config{Machine: cfg, Shards: *shards, QueueDepth: *queueDepth, Recorders: recs}
-	s, err := shard.New(scfg)
-	if err != nil {
-		fail(err)
+
+	// Build (or recover) the store.
+	var s *shard.Store
+	if *restart {
+		if *persistDir == "" {
+			return fmt.Errorf("-restart needs -persist DIR")
+		}
+		rs, rec, err := persist.RecoverStore(persist.Options{Dir: *persistDir}, scfg)
+		if err != nil {
+			return err
+		}
+		s = rs
+		fmt.Printf("loadgen: recovery outcome=%s epoch=%d rolled_forward=%t wal_repaired=%t",
+			rec.Outcome, rec.Epoch, rec.RolledForward, rec.WALRepaired)
+		if rec.Detail != "" {
+			fmt.Printf(" detail=%q", rec.Detail)
+		}
+		fmt.Println()
+		if *expectOutcome != "" {
+			s.Close()
+			for _, want := range strings.Split(*expectOutcome, ",") {
+				if string(rec.Outcome) == strings.TrimSpace(want) {
+					return nil
+				}
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: recovery outcome %s not in %q\n", rec.Outcome, *expectOutcome)
+			return errFailed
+		}
+		if rec.Outcome == persist.OutcomeViolation {
+			s.Close()
+			fmt.Fprintf(os.Stderr, "loadgen: VIOLATION at recovery: %s\n", rec.Detail)
+			return errFailed
+		}
+	} else {
+		s, err = shard.New(scfg)
+		if err != nil {
+			return err
+		}
 	}
+	defer s.Close()
 
 	span := s.Span()
 	stripe := span / uint64(*workers)
-	if *workers < 1 || *ops < 1 || *batch < 1 || *maxLen < 1 {
-		fail(fmt.Errorf("workers, ops, batch and max-len must be positive"))
-	}
 	if stripe <= uint64(*maxLen) {
-		fail(fmt.Errorf("stripe %d too small for %dB operations; fewer workers or more protected bytes", stripe, *maxLen))
+		return fmt.Errorf("stripe %d too small for %dB operations; fewer workers or more protected bytes", stripe, *maxLen)
 	}
 
-	type mismatch struct {
-		off  uint64
-		err  error
-		text string
-	}
-	results := make(chan mismatch, *workers)
+	var failed bool
 	start := time.Now()
-	for w := 0; w < *workers; w++ {
-		w := w
-		go func() {
-			base := uint64(w) * stripe
-			mirror := make([]byte, stripe)
-			rng := rand.New(rand.NewSource(int64(*seed)<<8 | int64(w)))
-			type pending struct {
-				off  uint64
-				got  []byte
-				want []byte
+	if *persistDir != "" {
+		err = runPersistent(s, scfg, *persistDir, *workload, *workers, *ops, *ckptEvery,
+			*batch, *maxLen, *writeFrac, *seed, *killAfter, *killStage, *policy, *restart, rf)
+		if err != nil {
+			if errors.Is(err, errKilled) {
+				return err
 			}
-			b := s.NewBatch()
-			var reads []pending
-			collect := func() *mismatch {
-				if err := b.Wait(); err != nil {
-					return &mismatch{err: err}
-				}
-				for _, r := range reads {
-					for i := range r.got {
-						if r.got[i] != r.want[i] {
-							return &mismatch{off: r.off + uint64(i),
-								text: fmt.Sprintf("read %#x, mirror holds %#x", r.got[i], r.want[i])}
-						}
-					}
-				}
-				reads = reads[:0]
-				return nil
-			}
-			for op := 0; op < *ops; op++ {
-				length := 1 + rng.Intn(*maxLen)
-				off := rng.Uint64() % (stripe - uint64(length))
-				if rng.Float64() < *writeFrac {
-					p := make([]byte, length)
-					rng.Read(p)
-					b.Store(base+off, p)
-					copy(mirror[off:], p)
-				} else {
-					// The expected bytes are snapshotted at submit time:
-					// per-shard FIFO order makes earlier writes to the
-					// same addresses visible to this read.
-					r := pending{off: base + off, got: make([]byte, length),
-						want: append([]byte(nil), mirror[off:off+uint64(length)]...)}
-					b.Load(r.off, r.got)
-					reads = append(reads, r)
-				}
-				if (op+1)%*batch == 0 {
-					if m := collect(); m != nil {
-						results <- *m
-						return
-					}
-				}
-			}
-			if m := collect(); m != nil {
-				results <- *m
-				return
-			}
-			results <- mismatch{}
-		}()
-	}
-	failed := false
-	for w := 0; w < *workers; w++ {
-		m := <-results
-		switch {
-		case m.err != nil:
-			fmt.Fprintln(os.Stderr, "loadgen: worker error:", m.err)
-			failed = true
-		case m.text != "":
-			fmt.Fprintf(os.Stderr, "loadgen: MISMATCH at offset %d (shard %d): %s\n",
-				m.off, s.ShardFor(m.off), m.text)
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
 			failed = true
 		}
+	} else {
+		failed = !runConcurrent(s, *workload, *workers, *ops, *batch, *maxLen, *writeFrac, *seed)
 	}
 	trafficElapsed := time.Since(start)
 
@@ -212,7 +309,7 @@ func main() {
 	if reg := rf.NewRegistry(); reg != nil {
 		s.FillRegistry(reg)
 		if err := rf.WriteMetrics(reg); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if recs != nil {
@@ -221,13 +318,13 @@ func main() {
 			traces[i] = r.Trace
 		}
 		if err := rf.WriteTrace(traces...); err != nil {
-			fail(err)
+			return err
 		}
 	}
 
 	sec := trafficElapsed.Seconds()
-	fmt.Printf("loadgen: scheme=%s hashmode=%s shards=%d workers=%d ops=%d bytes=%d elapsed=%.3fs\n",
-		*scheme, *hashmode, *shards, *workers, agg.OpsSubmitted, agg.BytesSubmitted, sec)
+	fmt.Printf("loadgen: scheme=%s hashmode=%s workload=%s shards=%d workers=%d ops=%d bytes=%d elapsed=%.3fs\n",
+		*scheme, *hashmode, *workload, *shards, *workers, agg.OpsSubmitted, agg.BytesSubmitted, sec)
 	fmt.Printf("loadgen: ops_per_sec=%.1f bytes_per_sec=%.1f checks=%d machine_cycles=%d\n",
 		float64(agg.OpsSubmitted)/sec, float64(agg.BytesSubmitted)/sec,
 		agg.Total.IntegrityStats.Checks, agg.Total.Result.Cycles)
@@ -253,6 +350,227 @@ func main() {
 			sp.Coalesced, sp.SavedBlockReads)
 	}
 	if failed {
-		os.Exit(1)
+		return errFailed
 	}
+	return nil
+}
+
+// runConcurrent is the original fully concurrent traffic phase: one
+// goroutine per worker, mirror-checked reads, no persistence. Returns
+// true on success.
+func runConcurrent(s *shard.Store, workload string, workers, ops, batch, maxLen int, writeFrac float64, seed uint64) bool {
+	span := s.Span()
+	stripe := span / uint64(workers)
+	type mismatch struct {
+		off  uint64
+		err  error
+		text string
+	}
+	results := make(chan mismatch, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			base := uint64(w) * stripe
+			mirror := make([]byte, stripe)
+			gen, err := newOpGen(workload, int64(seed)<<8|int64(w), stripe, maxLen, writeFrac)
+			if err != nil {
+				results <- mismatch{err: err}
+				return
+			}
+			type pending struct {
+				off  uint64
+				got  []byte
+				want []byte
+			}
+			b := s.NewBatch()
+			var reads []pending
+			collect := func() *mismatch {
+				if err := b.Wait(); err != nil {
+					return &mismatch{err: err}
+				}
+				for _, r := range reads {
+					for i := range r.got {
+						if r.got[i] != r.want[i] {
+							return &mismatch{off: r.off + uint64(i),
+								text: fmt.Sprintf("read %#x, mirror holds %#x", r.got[i], r.want[i])}
+						}
+					}
+				}
+				reads = reads[:0]
+				return nil
+			}
+			for op := 0; op < ops; op++ {
+				off, length, write := gen.next()
+				if write {
+					p := make([]byte, length)
+					gen.rng.Read(p)
+					b.Store(base+off, p)
+					copy(mirror[off:], p)
+				} else {
+					// The expected bytes are snapshotted at submit time:
+					// per-shard FIFO order makes earlier writes to the
+					// same addresses visible to this read.
+					r := pending{off: base + off, got: make([]byte, length),
+						want: append([]byte(nil), mirror[off:off+uint64(length)]...)}
+					b.Load(r.off, r.got)
+					reads = append(reads, r)
+				}
+				if (op+1)%batch == 0 {
+					if m := collect(); m != nil {
+						results <- *m
+						return
+					}
+				}
+			}
+			if m := collect(); m != nil {
+				results <- *m
+				return
+			}
+			results <- mismatch{}
+		}()
+	}
+	ok := true
+	for w := 0; w < workers; w++ {
+		m := <-results
+		switch {
+		case m.err != nil:
+			fmt.Fprintln(os.Stderr, "loadgen: worker error:", m.err)
+			ok = false
+		case m.text != "":
+			fmt.Fprintf(os.Stderr, "loadgen: MISMATCH at offset %d (shard %d): %s\n",
+				m.off, s.ShardFor(m.off), m.text)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// runPersistent is the checkpointing traffic phase. Workers advance in
+// lockstep rounds of ckptEvery ops each; between rounds the store
+// checkpoints through internal/persist (a checkpoint is a quiesced commit
+// point, so rounds are driven serially from this goroutine — persistence
+// runs trade worker parallelism for a deterministic epoch schedule).
+// After a -restart recovery, mirrors are seeded from the recovered bytes.
+func runPersistent(s *shard.Store, scfg shard.Config, dir, workload string,
+	workers, ops, ckptEvery, batch, maxLen int, writeFrac float64, seed uint64,
+	killAfter int, killStage, policy string, restarted bool, rf *runflags.Flags) error {
+
+	span := s.Span()
+	stripe := span / uint64(workers)
+	if ckptEvery < 1 {
+		return fmt.Errorf("checkpoint-every must be positive")
+	}
+
+	var ffs *persist.FaultFS
+	popts := persist.Options{Dir: dir, Policy: policy}
+	if killAfter > 0 {
+		ffs = persist.NewFaultFS(nil)
+		popts.FS = ffs
+		// Campaign runs should not sleep through real backoff.
+		popts.Retry = persist.RetryPolicy{Attempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	}
+	st, err := persist.Open(popts)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	mirrors := make([][]byte, workers)
+	gens := make([]*opGen, workers)
+	for w := range mirrors {
+		mirrors[w] = make([]byte, stripe)
+		gen, err := newOpGen(workload, int64(seed)<<8|int64(w), stripe, maxLen, writeFrac)
+		if err != nil {
+			return err
+		}
+		gens[w] = gen
+		if restarted {
+			// The recovered store IS the ground truth now; seed the
+			// mirror from it so read checks validate against restored
+			// state.
+			if err := s.LoadBytes(uint64(w)*stripe, mirrors[w]); err != nil {
+				return fmt.Errorf("seeding mirror from recovered shard state: %w", err)
+			}
+		}
+	}
+
+	checkpoints := 0
+	for done := 0; done < ops; done += ckptEvery {
+		round := ckptEvery
+		if done+round > ops {
+			round = ops - done
+		}
+		for w := 0; w < workers; w++ {
+			if err := persistRound(s, gens[w], mirrors[w], uint64(w)*stripe, round, batch); err != nil {
+				return err
+			}
+		}
+		checkpoints++
+		if ffs != nil && checkpoints == killAfter {
+			ffs.Kill(persist.KillRule{Stage: killStage})
+		}
+		epoch, err := st.Checkpoint(persist.StoreSource{S: s})
+		if err != nil {
+			if ffs != nil && ffs.Killed() {
+				return fmt.Errorf("checkpoint %d: %w", checkpoints, errKilled)
+			}
+			return fmt.Errorf("checkpoint %d: %w", checkpoints, err)
+		}
+		fmt.Printf("loadgen: checkpoint %d sealed epoch %d\n", checkpoints, epoch)
+	}
+
+	pst := st.Stats()
+	fmt.Printf("loadgen: persist checkpoints=%d wal_records=%d bytes_written=%d retries=%d\n",
+		pst.Checkpoints, pst.WALRecords, pst.BytesWritten, pst.Retries)
+	if reg := rf.NewRegistry(); reg != nil {
+		pst.Fill(reg)
+	}
+	return nil
+}
+
+// persistRound submits one worker's round of mirror-checked operations
+// and collects it.
+func persistRound(s *shard.Store, gen *opGen, mirror []byte, base uint64, round, batch int) error {
+	type pending struct {
+		off  uint64
+		got  []byte
+		want []byte
+	}
+	b := s.NewBatch()
+	var reads []pending
+	collect := func() error {
+		if err := b.Wait(); err != nil {
+			return err
+		}
+		for _, r := range reads {
+			for i := range r.got {
+				if r.got[i] != r.want[i] {
+					return fmt.Errorf("MISMATCH at offset %d (shard %d): read %#x, mirror holds %#x",
+						r.off+uint64(i), s.ShardFor(r.off+uint64(i)), r.got[i], r.want[i])
+				}
+			}
+		}
+		reads = reads[:0]
+		return nil
+	}
+	for op := 0; op < round; op++ {
+		off, length, write := gen.next()
+		if write {
+			p := make([]byte, length)
+			gen.rng.Read(p)
+			b.Store(base+off, p)
+			copy(mirror[off:], p)
+		} else {
+			r := pending{off: base + off, got: make([]byte, length),
+				want: append([]byte(nil), mirror[off:off+uint64(length)]...)}
+			b.Load(r.off, r.got)
+			reads = append(reads, r)
+		}
+		if (op+1)%batch == 0 {
+			if err := collect(); err != nil {
+				return err
+			}
+		}
+	}
+	return collect()
 }

@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"memverify/internal/core"
+)
+
+// testCrashConfig shrinks the campaign for test runtime: 14 legs cover
+// every kind at least twice and every kill stage once.
+func testCrashConfig(scheme core.Scheme) CrashConfig {
+	cfg := DefaultCrashConfig(scheme)
+	cfg.Injections = 14
+	return cfg
+}
+
+func assertCrashGates(t *testing.T, rep *CrashReport) {
+	t.Helper()
+	s := rep.Summary
+	if s.FalsePositives != 0 {
+		t.Errorf("%d clean kill/restart cycles classified as violations", s.FalsePositives)
+	}
+	if s.RootMismatches != 0 {
+		t.Errorf("%d clean recoveries failed to reproduce the sealed root", s.RootMismatches)
+	}
+	if s.Missed != 0 {
+		t.Errorf("%d on-disk tampering legs went undetected", s.Missed)
+	}
+	if s.Tampers > 0 && s.DetectionRate != 1.0 {
+		t.Errorf("detection rate %.4f, want 1.0", s.DetectionRate)
+	}
+	if s.Kills == 0 || s.Tampers == 0 {
+		t.Errorf("degenerate campaign: %d kills, %d tampers", s.Kills, s.Tampers)
+	}
+	for _, inj := range rep.Injections {
+		if inj.Kind == CrashKill && inj.Epoch != 1 && inj.Epoch != 2 {
+			t.Errorf("leg %d (%s@%s): recovered to epoch %d, want 1 or 2", inj.ID, inj.Kind, inj.Stage, inj.Epoch)
+		}
+	}
+}
+
+func TestCrashCampaignAllSchemes(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemeNaive, core.SchemeCached, core.SchemeMulti, core.SchemeIncr} {
+		t.Run(string(scheme), func(t *testing.T) {
+			rep, err := RunCrash(testCrashConfig(scheme))
+			if err != nil {
+				t.Fatalf("RunCrash: %v", err)
+			}
+			assertCrashGates(t, rep)
+		})
+	}
+}
+
+func TestCrashCampaignDeterministic(t *testing.T) {
+	cfg := testCrashConfig(core.SchemeCached)
+	cfg.Injections = 7
+	var out [2]bytes.Buffer
+	for i := range out {
+		rep, err := RunCrash(cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		enc := json.NewEncoder(&out[i])
+		if err := enc.Encode(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Fatal("identical crash configs produced different reports")
+	}
+}
+
+func TestCrashCampaignShardedStore(t *testing.T) {
+	cfg := testCrashConfig(core.SchemeCached)
+	cfg.Shards = 4
+	cfg.ProtectedBytes = 64 << 10
+	rep, err := RunCrash(cfg)
+	if err != nil {
+		t.Fatalf("RunCrash: %v", err)
+	}
+	assertCrashGates(t, rep)
+}
+
+func TestCrashCampaignHaltPolicy(t *testing.T) {
+	cfg := testCrashConfig(core.SchemeCached)
+	cfg.Policy = "halt"
+	cfg.Injections = 7
+	rep, err := RunCrash(cfg)
+	if err != nil {
+		t.Fatalf("RunCrash: %v", err)
+	}
+	assertCrashGates(t, rep)
+}

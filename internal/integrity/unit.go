@@ -348,6 +348,20 @@ func (x *HashExec) Install(c uint64, gen uint64, digest []byte) {
 	copy(e.digest[:], digest)
 }
 
+// InvalidateMemo forgets every memoized record while leaving generations
+// alone. Machine state restoration (core.Machine.RestoreState) rewrites
+// external memory underneath the generation bookkeeping, so entries
+// installed against the displaced image must never be served against the
+// restored one.
+func (x *HashExec) InvalidateMemo() {
+	if x == nil {
+		return
+	}
+	for i := range x.memo {
+		x.memo[i] = memoEntry{}
+	}
+}
+
 // MemoHits and MemoMisses report lookup traffic — simulator-side
 // instrumentation only, deliberately kept out of Stats so that every hash
 // mode produces byte-identical simulation statistics.

@@ -1,0 +1,657 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memverify/internal/core"
+	"memverify/internal/shard"
+	"memverify/internal/trace"
+)
+
+// testConfig builds a small functional machine configuration.
+func testConfig(scheme core.Scheme, hashMode string) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Functional = true
+	cfg.HashAlg = "fnv128"
+	cfg.HashMode = hashMode
+	cfg.ViolationPolicy = "record"
+	cfg.ProtectedBytes = 16 << 10
+	cfg.L2Size = 8 << 10
+	cfg.Benchmark = trace.Uniform("persist", cfg.ProtectedBytes/2)
+	cfg.Benchmark.CodeSet = 4 << 10
+	if scheme == core.SchemeMulti || scheme == core.SchemeIncr {
+		cfg.ChunkBlocks = 2
+	}
+	return cfg
+}
+
+// fastRetry keeps test backoff sleeps negligible.
+var fastRetry = RetryPolicy{Attempts: 3, BaseDelay: 1, MaxDelay: 1}
+
+// writeN performs n deterministic random writes against m.
+func writeN(t *testing.T, m *core.Machine, rng *rand.Rand, n int) {
+	t.Helper()
+	span := m.ProgSpan()
+	buf := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		rng.Read(buf)
+		off := (rng.Uint64() % (span - 64)) &^ 7
+		if err := m.StoreBytes(off, buf); err != nil {
+			t.Fatalf("store: %v", err)
+		}
+	}
+}
+
+func newMachine(t *testing.T, cfg core.Config) *core.Machine {
+	t.Helper()
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	return m
+}
+
+func openStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestCheckpointRecoverRoundtrip(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemeNaive, core.SchemeCached, core.SchemeMulti, core.SchemeIncr} {
+		t.Run(string(scheme), func(t *testing.T) {
+			cfg := testConfig(scheme, "full")
+			dir := t.TempDir()
+			m := newMachine(t, cfg)
+			rng := rand.New(rand.NewSource(7))
+			writeN(t, m, rng, 48)
+
+			st := openStore(t, Options{Dir: dir, Retry: fastRetry})
+			epoch, err := st.Checkpoint(MachineSource{m})
+			if err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			if epoch != 1 {
+				t.Fatalf("epoch = %d, want 1", epoch)
+			}
+			wantRoot := m.Root()
+
+			// Read back the whole region for the bytes comparison.
+			want := make([]byte, m.ProgSpan())
+			if err := m.LoadBytes(0, want); err != nil {
+				t.Fatalf("reference read: %v", err)
+			}
+
+			r, rec, err := RecoverMachine(Options{Dir: dir}, cfg)
+			if err != nil {
+				t.Fatalf("RecoverMachine: %v", err)
+			}
+			if rec.Outcome != OutcomeClean {
+				t.Fatalf("outcome = %s (%s), want clean", rec.Outcome, rec.Detail)
+			}
+			if rec.Epoch != 1 {
+				t.Fatalf("recovered epoch = %d, want 1", rec.Epoch)
+			}
+			if !bytes.Equal(r.Root(), wantRoot) {
+				t.Fatalf("recovered root %x != checkpointed root %x", r.Root(), wantRoot)
+			}
+			got := make([]byte, r.ProgSpan())
+			if err := r.LoadBytes(0, got); err != nil {
+				t.Fatalf("recovered read: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("recovered data differs from checkpointed data")
+			}
+		})
+	}
+}
+
+func TestCheckpointRecoverStore(t *testing.T) {
+	scfg := shard.Config{Machine: testConfig(core.SchemeCached, "full"), Shards: 4}
+	scfg.Machine.ProtectedBytes = 64 << 10
+	dir := t.TempDir()
+
+	s, err := shard.New(scfg)
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]byte, 64)
+	for i := 0; i < 128; i++ {
+		rng.Read(buf)
+		off := rng.Uint64() % (s.Span() - 64)
+		if err := s.StoreBytes(off, buf); err != nil {
+			t.Fatalf("store: %v", err)
+		}
+	}
+	st := openStore(t, Options{Dir: dir, Retry: fastRetry})
+	if _, err := st.Checkpoint(StoreSource{s}); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	wantRoots := make([][]byte, s.Shards())
+	for i := range wantRoots {
+		i := i
+		s.WithShard(i, func(m *core.Machine) { wantRoots[i] = m.Root() })
+	}
+	want := make([]byte, s.Span())
+	if err := s.LoadBytes(0, want); err != nil {
+		t.Fatalf("reference read: %v", err)
+	}
+	s.Close()
+
+	r, rec, err := RecoverStore(Options{Dir: dir}, scfg)
+	if err != nil {
+		t.Fatalf("RecoverStore: %v", err)
+	}
+	defer r.Close()
+	if rec.Outcome != OutcomeClean {
+		t.Fatalf("outcome = %s (%s), want clean", rec.Outcome, rec.Detail)
+	}
+	for i, want := range wantRoots {
+		if !bytes.Equal(rec.Roots[i], want) {
+			t.Fatalf("shard %d root mismatch", i)
+		}
+	}
+	got := make([]byte, r.Span())
+	if err := r.LoadBytes(0, got); err != nil {
+		t.Fatalf("recovered read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered store data differs")
+	}
+}
+
+// checkpointEpochs runs rounds of write→checkpoint, returning the root
+// sealed at each epoch (index 0 = epoch 1).
+func checkpointEpochs(t *testing.T, dir string, cfg core.Config, rounds int) ([][]byte, *core.Machine) {
+	t.Helper()
+	m := newMachine(t, cfg)
+	st := openStore(t, Options{Dir: dir, Retry: fastRetry})
+	rng := rand.New(rand.NewSource(11))
+	var roots [][]byte
+	for i := 0; i < rounds; i++ {
+		writeN(t, m, rng, 24)
+		if _, err := st.Checkpoint(MachineSource{m}); err != nil {
+			t.Fatalf("checkpoint %d: %v", i+1, err)
+		}
+		roots = append(roots, m.Root())
+	}
+	return roots, m
+}
+
+func TestRecoveryEdgeCases(t *testing.T) {
+	cfg := testConfig(core.SchemeCached, "full")
+
+	type tc struct {
+		name    string
+		prep    func(t *testing.T, dir string) // after 2 committed epochs
+		outcome Outcome
+		epoch   uint64
+	}
+	cases := []tc{
+		{
+			name:    "clean",
+			prep:    func(t *testing.T, dir string) {},
+			outcome: OutcomeClean,
+			epoch:   2,
+		},
+		{
+			name: "torn-partial-final-record",
+			prep: func(t *testing.T, dir string) {
+				// A torn append: half a record of garbage at the tail.
+				f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Write(make([]byte, walRecordSize/2))
+				f.Close()
+			},
+			outcome: OutcomeClean, // tail discarded; committed state intact
+			epoch:   2,
+		},
+		{
+			name: "checksum-corrupt-final-record",
+			prep: func(t *testing.T, dir string) {
+				name := filepath.Join(dir, walName)
+				buf, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf[len(buf)-1] ^= 0xff // flip inside the final checksum
+				os.WriteFile(name, buf, 0o644)
+			},
+			// The final record is the epoch-2 commit; with it gone the
+			// state reads as "died before sealing the commit" and rolls
+			// forward.
+			outcome: OutcomeTorn,
+			epoch:   2,
+		},
+		{
+			name: "checksum-corrupt-interior-record",
+			prep: func(t *testing.T, dir string) {
+				name := filepath.Join(dir, walName)
+				buf, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf[walRecordSize/2] ^= 0xff // first record's payload
+				os.WriteFile(name, buf, 0o644)
+			},
+			outcome: OutcomeViolation,
+		},
+		{
+			name: "segment-bitflip",
+			prep: func(t *testing.T, dir string) {
+				name := filepath.Join(dir, segName(2, 0))
+				buf, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf[len(buf)/2] ^= 1
+				os.WriteFile(name, buf, 0o644)
+			},
+			outcome: OutcomeViolation,
+		},
+		{
+			name: "segment-missing",
+			prep: func(t *testing.T, dir string) {
+				os.Remove(filepath.Join(dir, segName(2, 0)))
+			},
+			outcome: OutcomeViolation,
+		},
+		{
+			name: "wal-truncated-to-empty",
+			prep: func(t *testing.T, dir string) {
+				os.Truncate(filepath.Join(dir, walName), 0)
+			},
+			outcome: OutcomeViolation,
+		},
+		{
+			name: "wal-truncated-one-epoch",
+			prep: func(t *testing.T, dir string) {
+				// Chop the log back to epoch 1 while the snapshot is at
+				// epoch 2: hiding committed epochs.
+				os.Truncate(filepath.Join(dir, walName), 2*walRecordSize)
+			},
+			outcome: OutcomeViolation,
+		},
+		{
+			name: "manifest-corrupt",
+			prep: func(t *testing.T, dir string) {
+				name := filepath.Join(dir, manifestName)
+				buf, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf[5] ^= 0xff
+				os.WriteFile(name, buf, 0o644)
+			},
+			outcome: OutcomeViolation,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			roots, _ := checkpointEpochs(t, dir, cfg, 2)
+			c.prep(t, dir)
+			m, rec, err := RecoverMachine(Options{Dir: dir}, cfg)
+			if err != nil {
+				t.Fatalf("RecoverMachine: %v", err)
+			}
+			if rec.Outcome != c.outcome {
+				t.Fatalf("outcome = %s (%s), want %s", rec.Outcome, rec.Detail, c.outcome)
+			}
+			if c.outcome != OutcomeViolation {
+				if rec.Epoch != c.epoch {
+					t.Fatalf("epoch = %d, want %d", rec.Epoch, c.epoch)
+				}
+				if !bytes.Equal(m.Root(), roots[c.epoch-1]) {
+					t.Fatalf("recovered root differs from the sealed epoch-%d root", c.epoch)
+				}
+			}
+		})
+	}
+}
+
+func TestRecoverFresh(t *testing.T) {
+	cfg := testConfig(core.SchemeCached, "full")
+	for _, sub := range []struct {
+		name string
+		prep func(t *testing.T, dir string)
+	}{
+		{"empty-dir", func(t *testing.T, dir string) {}},
+		{"empty-wal-file", func(t *testing.T, dir string) {
+			os.WriteFile(filepath.Join(dir, walName), nil, 0o644)
+		}},
+	} {
+		t.Run(sub.name, func(t *testing.T) {
+			dir := t.TempDir()
+			sub.prep(t, dir)
+			_, rec, err := RecoverMachine(Options{Dir: dir}, cfg)
+			if err != nil {
+				t.Fatalf("RecoverMachine: %v", err)
+			}
+			if rec.Outcome != OutcomeFresh {
+				t.Fatalf("outcome = %s, want fresh", rec.Outcome)
+			}
+		})
+	}
+}
+
+func TestFingerprintMismatchFailsLoudly(t *testing.T) {
+	cfg := testConfig(core.SchemeCached, "full")
+	dir := t.TempDir()
+	checkpointEpochs(t, dir, cfg, 1)
+
+	other := testConfig(core.SchemeMulti, "full")
+	_, _, err := RecoverMachine(Options{Dir: dir}, other)
+	if err == nil || !IsFingerprintMismatch(err) {
+		t.Fatalf("recovering under a different scheme: err = %v, want fingerprint mismatch", err)
+	}
+
+	// Same scheme, different geometry.
+	geo := cfg
+	geo.ProtectedBytes *= 2
+	geo.Benchmark = trace.Uniform("persist", geo.ProtectedBytes/2)
+	geo.Benchmark.CodeSet = 4 << 10
+	_, _, err = RecoverMachine(Options{Dir: dir}, geo)
+	if err == nil || !IsFingerprintMismatch(err) {
+		t.Fatalf("recovering under different geometry: err = %v, want fingerprint mismatch", err)
+	}
+}
+
+func TestStaleSnapshotReplayDetected(t *testing.T) {
+	cfg := testConfig(core.SchemeCached, "full")
+	dir := t.TempDir()
+
+	m := newMachine(t, cfg)
+	st := openStore(t, Options{Dir: dir, Retry: fastRetry})
+	rng := rand.New(rand.NewSource(5))
+
+	writeN(t, m, rng, 24)
+	if _, err := st.Checkpoint(MachineSource{m}); err != nil {
+		t.Fatal(err)
+	}
+	// Stash the epoch-1 snapshot (a valid, fully committed state).
+	man1, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg1, err := os.ReadFile(filepath.Join(dir, segName(1, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writeN(t, m, rng, 24)
+	if _, err := st.Checkpoint(MachineSource{m}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay attack: reinstall the stale-but-internally-valid epoch-1
+	// snapshot over the committed epoch-2 one, leaving the WAL alone.
+	os.WriteFile(filepath.Join(dir, manifestName), man1, 0o644)
+	os.WriteFile(filepath.Join(dir, segName(1, 0)), seg1, 0o644)
+	os.Remove(filepath.Join(dir, segName(2, 0)))
+
+	_, rec, err := RecoverMachine(Options{Dir: dir}, cfg)
+	if err != nil {
+		t.Fatalf("RecoverMachine: %v", err)
+	}
+	if rec.Outcome != OutcomeViolation {
+		t.Fatalf("stale snapshot replay: outcome = %s (%s), want violation", rec.Outcome, rec.Detail)
+	}
+}
+
+// TestKillPointProperty is the seeded property test: a checkpoint→kill→
+// recover cycle at ANY kill point yields a root byte-identical to some
+// committed epoch of an uninterrupted reference run — never a novel root,
+// never a silent violation — across all persistable schemes × hash modes.
+func TestKillPointProperty(t *testing.T) {
+	stages := []string{
+		StageWALWrite, StageWALSync, StageBetween,
+		StageSegWrite, StageSegSync,
+		StageManifestWrite, StageManifestRename,
+	}
+	schemes := []core.Scheme{core.SchemeNaive, core.SchemeCached, core.SchemeMulti, core.SchemeIncr}
+	modes := []string{"full", "memo"}
+	for _, scheme := range schemes {
+		for _, mode := range modes {
+			for _, stage := range stages {
+				t.Run(string(scheme)+"/"+mode+"/"+stage, func(t *testing.T) {
+					killPointCycle(t, scheme, mode, stage)
+				})
+			}
+		}
+	}
+}
+
+func killPointCycle(t *testing.T, scheme core.Scheme, mode, stage string) {
+	cfg := testConfig(scheme, mode)
+	dir := t.TempDir()
+
+	// Reference: uninterrupted run, roots per epoch (epoch 0 = initial).
+	ref := newMachine(t, cfg)
+	refRng := rand.New(rand.NewSource(42))
+	refRoots := [][]byte{ref.Root()}
+	for i := 0; i < 3; i++ {
+		writeN(t, ref, refRng, 16)
+		ref.Flush()
+		refRoots = append(refRoots, ref.Root())
+	}
+
+	// Victim: same workload, checkpoint each round, killed during the
+	// SECOND checkpoint.
+	ffs := NewFaultFS(nil)
+	m := newMachine(t, cfg)
+	rng := rand.New(rand.NewSource(42))
+	st := openStore(t, Options{Dir: dir, FS: ffs, Retry: fastRetry})
+
+	writeN(t, m, rng, 16)
+	if _, err := st.Checkpoint(MachineSource{m}); err != nil {
+		t.Fatalf("checkpoint 1: %v", err)
+	}
+	if !bytes.Equal(m.Root(), refRoots[1]) {
+		t.Fatalf("victim and reference diverged before the kill")
+	}
+
+	ffs.Kill(KillRule{Stage: stage})
+	writeN(t, m, rng, 16)
+	_, err := st.Checkpoint(MachineSource{m})
+	if !ffs.Killed() {
+		t.Skipf("stage %s not reached in this protocol phase", stage)
+	}
+	if err == nil {
+		t.Fatalf("checkpoint survived its kill point")
+	}
+
+	// Restart: recover from the real directory with a clean FS.
+	r, rec, err := RecoverMachine(Options{Dir: dir}, cfg)
+	if err != nil {
+		t.Fatalf("RecoverMachine: %v", err)
+	}
+	if rec.Outcome == OutcomeViolation {
+		t.Fatalf("clean kill/restart classified as violation: %s", rec.Detail)
+	}
+	if rec.Outcome == OutcomeFresh {
+		t.Fatalf("committed epoch 1 lost: recovery says fresh")
+	}
+	if rec.Epoch != 1 && rec.Epoch != 2 {
+		t.Fatalf("recovered to epoch %d, want 1 or 2", rec.Epoch)
+	}
+	if !bytes.Equal(r.Root(), refRoots[rec.Epoch]) {
+		t.Fatalf("recovered root is not byte-identical to the reference epoch-%d root", rec.Epoch)
+	}
+
+	// The recovered machine must be fully usable: resume the workload and
+	// checkpoint again through a fresh store.
+	st2 := openStore(t, Options{Dir: dir, Retry: fastRetry})
+	writeN(t, r, rand.New(rand.NewSource(43)), 8)
+	if _, err := st2.Checkpoint(MachineSource{r}); err != nil {
+		t.Fatalf("post-recovery checkpoint: %v", err)
+	}
+	_, rec2, err := RecoverMachine(Options{Dir: dir}, cfg)
+	if err != nil || rec2.Outcome != OutcomeClean {
+		t.Fatalf("post-recovery state not clean: %v / %+v", err, rec2)
+	}
+}
+
+// TestDoubleCrashRollback stacks two torn checkpoints: recovery must
+// normalize the WAL after the first so the second still reads as a crash,
+// not as tampering.
+func TestDoubleCrashRollback(t *testing.T) {
+	cfg := testConfig(core.SchemeCached, "full")
+	dir := t.TempDir()
+
+	m := newMachine(t, cfg)
+	rng := rand.New(rand.NewSource(9))
+	{
+		ffs := NewFaultFS(nil)
+		st := openStore(t, Options{Dir: dir, FS: ffs, Retry: fastRetry})
+		writeN(t, m, rng, 16)
+		if _, err := st.Checkpoint(MachineSource{m}); err != nil {
+			t.Fatal(err)
+		}
+		ffs.Kill(KillRule{Stage: StageBetween})
+		writeN(t, m, rng, 16)
+		if _, err := st.Checkpoint(MachineSource{m}); err == nil {
+			t.Fatal("checkpoint survived kill")
+		}
+	}
+	r1, rec1, err := RecoverMachine(Options{Dir: dir}, cfg)
+	if err != nil || rec1.Outcome != OutcomeTorn || rec1.Epoch != 1 {
+		t.Fatalf("first crash: %v / %+v", err, rec1)
+	}
+	{
+		ffs := NewFaultFS(nil)
+		st := openStore(t, Options{Dir: dir, FS: ffs, Retry: fastRetry})
+		ffs.Kill(KillRule{Stage: StageBetween})
+		writeN(t, r1, rand.New(rand.NewSource(10)), 16)
+		if _, err := st.Checkpoint(MachineSource{r1}); err == nil {
+			t.Fatal("checkpoint survived kill")
+		}
+	}
+	_, rec2, err := RecoverMachine(Options{Dir: dir}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Outcome != OutcomeTorn || rec2.Epoch != 1 {
+		t.Fatalf("second crash: outcome %s epoch %d (%s), want torn epoch 1", rec2.Outcome, rec2.Epoch, rec2.Detail)
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	cfg := testConfig(core.SchemeCached, "full")
+
+	t.Run("transient-recovers", func(t *testing.T) {
+		dir := t.TempDir()
+		ffs := NewFaultFS(nil)
+		m := newMachine(t, cfg)
+		st := openStore(t, Options{Dir: dir, FS: ffs, Retry: fastRetry})
+		writeN(t, m, rand.New(rand.NewSource(1)), 16)
+		ffs.FailTransient(2)
+		if _, err := st.Checkpoint(MachineSource{m}); err != nil {
+			t.Fatalf("checkpoint with transient faults: %v", err)
+		}
+		if got := st.Stats().Retries; got < 2 {
+			t.Fatalf("Retries = %d, want >= 2", got)
+		}
+		if st.Stats().RetryExhausted != 0 {
+			t.Fatalf("RetryExhausted = %d, want 0", st.Stats().RetryExhausted)
+		}
+	})
+
+	t.Run("exhaustion-halt-policy", func(t *testing.T) {
+		dir := t.TempDir()
+		ffs := NewFaultFS(nil)
+		m := newMachine(t, cfg)
+		st := openStore(t, Options{Dir: dir, FS: ffs, Retry: RetryPolicy{Attempts: 2, BaseDelay: 1, MaxDelay: 1}, Policy: "halt"})
+		writeN(t, m, rand.New(rand.NewSource(1)), 16)
+		ffs.FailTransient(100)
+		if _, err := st.Checkpoint(MachineSource{m}); err == nil {
+			t.Fatal("checkpoint succeeded despite exhausted retries")
+		}
+		if st.Stats().RetryExhausted == 0 {
+			t.Fatal("RetryExhausted not counted")
+		}
+		if _, err := st.Checkpoint(MachineSource{m}); !errors.Is(err, ErrStoreFailed) {
+			t.Fatalf("poisoned store: err = %v, want ErrStoreFailed", err)
+		}
+	})
+
+	t.Run("exhaustion-record-policy", func(t *testing.T) {
+		dir := t.TempDir()
+		ffs := NewFaultFS(nil)
+		m := newMachine(t, cfg)
+		st := openStore(t, Options{Dir: dir, FS: ffs, Retry: RetryPolicy{Attempts: 2, BaseDelay: 1, MaxDelay: 1}, Policy: "record"})
+		writeN(t, m, rand.New(rand.NewSource(1)), 16)
+		ffs.FailTransient(100)
+		if _, err := st.Checkpoint(MachineSource{m}); err == nil {
+			t.Fatal("checkpoint succeeded despite exhausted retries")
+		}
+		ffs.FailTransient(-100) // drain the queue the failed run left
+		if _, err := st.Checkpoint(MachineSource{m}); err != nil {
+			t.Fatalf("record policy must allow the next checkpoint: %v", err)
+		}
+		if st.Stats().CheckpointFails != 1 || st.Stats().Checkpoints != 1 {
+			t.Fatalf("stats = %+v", st.Stats())
+		}
+	})
+}
+
+func TestPersistRejectsUnsupportedConfigs(t *testing.T) {
+	base := testConfig(core.SchemeBase, "full")
+	base.Scheme = core.SchemeBase
+	m := newMachine(t, base)
+	if _, _, err := m.SaveState(); err == nil {
+		t.Fatal("base scheme must not persist")
+	}
+	timing := testConfig(core.SchemeCached, "timing")
+	mt := newMachine(t, timing)
+	if _, _, err := mt.SaveState(); err == nil {
+		t.Fatal("timing hash mode must not persist")
+	}
+}
+
+func TestWALRecordRoundtrip(t *testing.T) {
+	rec := walRecord{Type: recCommit, Epoch: 77, Fingerprint: 0xdeadbeef, Shards: 4}
+	copy(rec.RootDigest[:], bytes.Repeat([]byte{0xab}, 16))
+	got, err := decodeWALRecord(rec.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", got, rec)
+	}
+	buf := rec.encode()
+	buf[10] ^= 1
+	if _, err := decodeWALRecord(buf); err == nil {
+		t.Fatal("corrupt record decoded")
+	}
+}
+
+func TestSegmentRoundtrip(t *testing.T) {
+	s := &segment{Epoch: 3, Shard: 1, Fingerprint: 42, Root: []byte{1, 2, 3, 4}, Image: bytes.Repeat([]byte{9}, 512)}
+	got, err := decodeSegment(s.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.Shard != 1 || got.Fingerprint != 42 ||
+		!bytes.Equal(got.Root, s.Root) || !bytes.Equal(got.Image, s.Image) {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	buf := s.encode()
+	buf[len(buf)/2] ^= 1
+	if _, err := decodeSegment(buf); err == nil {
+		t.Fatal("corrupt segment decoded")
+	}
+}

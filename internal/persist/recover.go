@@ -1,0 +1,514 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"memverify/internal/core"
+	"memverify/internal/shard"
+)
+
+// Outcome classifies a recovery.
+type Outcome string
+
+const (
+	// OutcomeFresh: no WAL and no manifest — nothing was ever persisted.
+	OutcomeFresh Outcome = "fresh"
+	// OutcomeClean: the last committed epoch restored and re-verified
+	// bit-exactly against its sealed root.
+	OutcomeClean Outcome = "recovered-clean"
+	// OutcomeTorn: a crash interrupted a checkpoint; the tear was
+	// resolved deterministically (roll forward to the intended epoch when
+	// its segments all landed, roll back to the previous committed epoch
+	// otherwise) and the resolved state re-verified against its sealed
+	// root.
+	OutcomeTorn Outcome = "recovered-torn"
+	// OutcomeViolation: the on-disk state is inconsistent in a way no
+	// crash can produce, or the restored image fails engine verification
+	// against the sealed root — tampering, rollback or replay. The state
+	// must not be trusted.
+	OutcomeViolation Outcome = "violation"
+)
+
+// Recovery reports what recovery found and did.
+type Recovery struct {
+	Outcome Outcome
+	// Epoch is the epoch the store was restored to (0 for fresh, or for
+	// a violation where no state was restored).
+	Epoch uint64
+	// IntentEpoch, CommitEpoch and ManifestEpoch are the raw markers the
+	// classification ran on: the highest sealed intent, the highest
+	// sealed commit, and the manifest's epoch (0 = absent).
+	IntentEpoch, CommitEpoch, ManifestEpoch uint64
+	// RolledForward is set when a torn checkpoint was completed from its
+	// surviving segments rather than rolled back.
+	RolledForward bool
+	// WALRepaired is set when recovery rewrote the log (truncated a torn
+	// tail or dangling intent, or appended a repair commit).
+	WALRepaired bool
+	// Detail is a human-readable explanation, set for torn and violation
+	// outcomes.
+	Detail string
+	// Roots holds the restored per-shard root records (nil unless the
+	// outcome restored state).
+	Roots [][]byte
+	// Violations counts engine violations raised while re-verifying the
+	// restored image against the sealed root.
+	Violations int
+}
+
+// errFingerprint marks the loud config-mismatch failure.
+var errFingerprint = errors.New("persist: config fingerprint mismatch")
+
+// IsFingerprintMismatch reports whether err is the loud failure for
+// recovering under a different scheme/geometry than the store was written
+// with.
+func IsFingerprintMismatch(err error) bool { return errors.Is(err, errFingerprint) }
+
+// RecoverMachine builds a machine from cfg and restores the last
+// committed state in opts.Dir into it, re-verifying the restored image
+// against the WAL-sealed root through the engine itself. The returned
+// Recovery classifies what happened; on OutcomeViolation the machine is
+// returned fresh (nothing restored) so the caller can inspect it, but its
+// state is NOT the persisted state.
+//
+// A hard error (unreadable directory, fingerprint mismatch, invalid cfg)
+// is returned as err with a nil machine.
+func RecoverMachine(opts Options, cfg core.Config) (*core.Machine, *Recovery, error) {
+	rec, imgs, roots, err := recoverState(opts, Fingerprint(cfg, 1), 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if imgs != nil {
+		if err := m.RestoreState(imgs[0], roots[0]); err != nil {
+			return nil, nil, err
+		}
+		verifyRestored(rec, m)
+		rec.Roots = [][]byte{m.Root()}
+	}
+	return m, rec, nil
+}
+
+// RecoverStore is RecoverMachine for a sharded store: each shard's
+// segment restores into its machine on that shard's worker goroutine, and
+// re-verification runs through Store.VerifyAll, so one tampered shard is
+// contained — healthy shards restore and verify clean, and under the halt
+// policy only the violated shard halts.
+func RecoverStore(opts Options, scfg shard.Config) (*shard.Store, *Recovery, error) {
+	if scfg.Shards < 1 {
+		return nil, nil, fmt.Errorf("persist: need at least one shard, got %d", scfg.Shards)
+	}
+	per := scfg.Machine
+	per.ProtectedBytes = scfg.Machine.ProtectedBytes / uint64(scfg.Shards)
+	rec, imgs, roots, err := recoverState(opts, Fingerprint(per, scfg.Shards), scfg.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := shard.New(scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if imgs != nil {
+		for i := 0; i < scfg.Shards; i++ {
+			i := i
+			var rerr error
+			s.WithShard(i, func(m *core.Machine) { rerr = m.RestoreState(imgs[i], roots[i]) })
+			if rerr != nil {
+				s.Close()
+				return nil, nil, rerr
+			}
+		}
+		before := len(s.Violations())
+		verr := s.VerifyAll()
+		rec.Violations = len(s.Violations()) - before
+		if rec.Violations > 0 || verr != nil {
+			rec.Outcome = OutcomeViolation
+			rec.Detail = "restored image fails engine verification against the sealed root"
+		} else {
+			rec.Roots = make([][]byte, scfg.Shards)
+			for i := range rec.Roots {
+				i := i
+				s.WithShard(i, func(m *core.Machine) { rec.Roots[i] = m.Root() })
+			}
+		}
+	}
+	return s, rec, nil
+}
+
+// verifyRestored re-reads every protected block of a single machine
+// through the verification engine — the adversarial half of recovery. The
+// restored root register came from the WAL; any image that cannot
+// reproduce it (stale snapshot, flipped tree node, spliced segment) fails
+// here even though every file checksum passed.
+func verifyRestored(rec *Recovery, m *core.Machine) {
+	before := m.Sys.Stat.Violations
+	bs := uint64(m.Cfg.L2Block)
+	buf := make([]byte, bs)
+	span := m.ProgSpan()
+	var failed bool
+	for off := uint64(0); off < span; off += bs {
+		n := bs
+		if off+n > span {
+			n = span - off
+		}
+		if err := m.LoadBytes(off, buf[:n]); err != nil {
+			failed = true // halt policy tripped; the cause is counted below
+			break
+		}
+	}
+	if !failed && m.Cfg.Speculative {
+		if err := m.Barrier(); err != nil {
+			failed = true
+		}
+	}
+	rec.Violations = int(m.Sys.Stat.Violations - before)
+	if rec.Violations > 0 || failed {
+		rec.Outcome = OutcomeViolation
+		rec.Detail = "restored image fails engine verification against the sealed root"
+	}
+}
+
+// Recover runs the filesystem-level half of recovery without building any
+// machine: WAL replay, torn-state resolution and checksum validation. It
+// returns the classification and, for restorable outcomes, leaves the
+// directory normalized (torn WAL tails truncated, roll-forwards
+// committed). Most callers want RecoverMachine/RecoverStore, which add
+// the engine re-verification; Recover alone is the dry-run used by tests
+// and tooling.
+func Recover(opts Options, cfg core.Config, shards int) (*Recovery, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	rec, _, _, err := recoverState(opts, Fingerprint(cfg, shards), shards)
+	return rec, err
+}
+
+// recoverState classifies the on-disk state and loads the epoch it
+// resolves to. It returns nil images for outcomes that restore nothing
+// (fresh, torn-to-empty, violation).
+//
+// The classification runs on three markers: I (highest sealed intent
+// epoch), C (highest sealed commit epoch) and M (the manifest's epoch).
+// The checkpoint protocol (intent → segments → manifest rename → commit)
+// and recovery's own normalization guarantee that a pure crash history
+// only ever presents I-C ∈ {0,1} and I-M ∈ {0,1} with C ≤ I; every other
+// configuration is unreachable by crashes and classifies as a violation:
+//
+//	M == I, C == I    clean — the normal committed state.
+//	M == I, C == I-1  torn — died between manifest rename and commit
+//	                  seal; roll forward by appending the commit.
+//	M == I-1, C == I-1
+//	                  torn — died between intent seal and manifest
+//	                  rename. If every epoch-I segment landed intact and
+//	                  their roots reproduce the intent digest, complete
+//	                  the checkpoint (roll forward); otherwise discard
+//	                  the partial epoch and roll back to M.
+//	M == I-1, C == I  violation — epoch I was sealed committed but the
+//	                  manifest regressed: rollback of committed state.
+//	M < I-1           violation — snapshot older than any crash window
+//	                  can explain (stale-snapshot replay).
+//	M > I             violation — snapshot ahead of the log: the WAL was
+//	                  truncated to hide committed epochs.
+//	C > I             violation — a commit without its intent.
+//
+// A torn FINAL WAL record is a crash artifact (appends are sequential)
+// and is truncated; a malformed INTERIOR record cannot result from a
+// crash and classifies as a violation. The commit record of an epoch must
+// carry the same root digest as its intent; disagreement is tampering.
+func recoverState(opts Options, expectFP uint64, expectShards int) (*Recovery, [][]byte, [][]byte, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OS{}
+	}
+	if opts.Dir == "" {
+		return nil, nil, nil, errors.New("persist: Options.Dir is required")
+	}
+	rec := &Recovery{Outcome: OutcomeFresh}
+	violation := func(detail string) (*Recovery, [][]byte, [][]byte, error) {
+		rec.Outcome = OutcomeViolation
+		rec.Detail = detail
+		return rec, nil, nil, nil
+	}
+
+	// 1. Replay the WAL.
+	scan, err := scanWAL(fsys, opts.Dir)
+	if err != nil {
+		if _, statErr := fsys.ReadDir(opts.Dir); statErr != nil {
+			return rec, nil, nil, nil // no directory at all: fresh
+		}
+		return violation(fmt.Sprintf("WAL replay failed: %v", err))
+	}
+	if scan.TornTail {
+		if err := truncateWAL(fsys, opts.Dir, scan.TailBytes); err != nil {
+			return nil, nil, nil, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+		}
+		rec.WALRepaired = true
+	}
+	intents := map[uint64][16]byte{}
+	var I, C uint64
+	var commitDigests = map[uint64][16]byte{}
+	for idx, r := range scan.Records {
+		if r.Fingerprint != expectFP {
+			return nil, nil, nil, fmt.Errorf("%w: WAL record %d sealed under %016x, recovering under %016x",
+				errFingerprint, idx, r.Fingerprint, expectFP)
+		}
+		if int(r.Shards) != expectShards {
+			return nil, nil, nil, fmt.Errorf("%w: WAL record %d sealed %d shards, recovering %d",
+				errFingerprint, idx, r.Shards, expectShards)
+		}
+		switch r.Type {
+		case recIntent:
+			intents[r.Epoch] = r.RootDigest
+			if r.Epoch > I {
+				I = r.Epoch
+			}
+		case recCommit:
+			commitDigests[r.Epoch] = r.RootDigest
+			if r.Epoch > C {
+				C = r.Epoch
+			}
+		}
+	}
+	rec.IntentEpoch, rec.CommitEpoch = I, C
+
+	// 2. Read the manifest.
+	var M uint64
+	mbuf, err := readFile(fsys, filepath.Join(opts.Dir, manifestName))
+	switch {
+	case err == nil:
+		man, derr := decodeManifest(mbuf)
+		if derr != nil {
+			// The manifest is replaced atomically; no crash leaves it
+			// malformed.
+			return violation(fmt.Sprintf("manifest corrupt: %v", derr))
+		}
+		if man.Fingerprint != expectFP || int(man.Shards) != expectShards {
+			return nil, nil, nil, fmt.Errorf("%w: manifest sealed under %016x/%d shards, recovering under %016x/%d",
+				errFingerprint, man.Fingerprint, man.Shards, expectFP, expectShards)
+		}
+		M = man.Epoch
+	case os.IsNotExist(err):
+		M = 0
+	default:
+		return nil, nil, nil, err
+	}
+	rec.ManifestEpoch = M
+
+	// 3. Classify.
+	if I == 0 && C == 0 {
+		if M != 0 {
+			return violation("snapshot present but the WAL is empty: log truncated")
+		}
+		return rec, nil, nil, nil // fresh
+	}
+	if C > I {
+		return violation(fmt.Sprintf("commit sealed for epoch %d without its intent", C))
+	}
+	for e, d := range commitDigests {
+		id, ok := intents[e]
+		if !ok {
+			return violation(fmt.Sprintf("commit sealed for epoch %d without its intent", e))
+		}
+		if id != d {
+			return violation(fmt.Sprintf("epoch %d intent and commit disagree on the root digest", e))
+		}
+	}
+	if M > I {
+		return violation(fmt.Sprintf("manifest at epoch %d but the WAL ends at %d: log truncated to hide committed epochs", M, I))
+	}
+
+	target := uint64(0)
+	switch {
+	case M == I && C == I:
+		rec.Outcome = OutcomeClean
+		target = I
+	case M == I && C == I-1:
+		// Died after the manifest rename, before the commit seal: the
+		// checkpoint is fully on disk. Complete it.
+		rec.Outcome = OutcomeTorn
+		rec.Detail = fmt.Sprintf("crash between manifest commit and WAL seal of epoch %d; commit repaired", I)
+		target = I
+		if err := appendRepairCommit(fsys, opts.Dir, I, expectFP, expectShards, intents[I]); err != nil {
+			return nil, nil, nil, err
+		}
+		rec.WALRepaired = true
+	case M == I-1 && C == I-1:
+		// Died between the intent seal and the manifest rename. Epoch I
+		// was never committed, so both resolutions are honest; which one
+		// applies is decided by what landed.
+		segs, loadErr := loadSegments(fsys, opts.Dir, I, expectFP, expectShards)
+		if loadErr == nil && segmentsMatch(I, segs, intents[I]) {
+			rec.Outcome = OutcomeTorn
+			rec.RolledForward = true
+			rec.Detail = fmt.Sprintf("crash before manifest commit of epoch %d; all segments landed, rolled forward", I)
+			target = I
+			if err := commitManifest(fsys, opts.Dir, I, expectFP, expectShards); err != nil {
+				return nil, nil, nil, err
+			}
+			if err := appendRepairCommit(fsys, opts.Dir, I, expectFP, expectShards, intents[I]); err != nil {
+				return nil, nil, nil, err
+			}
+			rec.WALRepaired = true
+		} else {
+			rec.Outcome = OutcomeTorn
+			rec.Detail = fmt.Sprintf("crash during checkpoint of epoch %d; partial epoch discarded, rolled back to %d", I, M)
+			target = M
+			// Drop the dangling intent so the log re-converges to
+			// I == C == M; without this, a second crash would stack
+			// dangling intents into a state indistinguishable from
+			// stale-snapshot tampering.
+			if err := truncateDanglingIntent(fsys, opts.Dir, I); err != nil {
+				return nil, nil, nil, err
+			}
+			rec.WALRepaired = true
+		}
+	case M < I-1 || (M == I-1 && C == I):
+		if C > M {
+			return violation(fmt.Sprintf("epoch %d is sealed committed but the snapshot is at epoch %d: rollback/replay of committed state", C, M))
+		}
+		return violation(fmt.Sprintf("snapshot at epoch %d lags the WAL at %d beyond any crash window: stale-snapshot replay", M, I))
+	default:
+		return violation(fmt.Sprintf("unclassifiable on-disk state (intent %d, commit %d, manifest %d)", I, C, M))
+	}
+	rec.Epoch = target
+
+	if target == 0 {
+		// Rolled back past the first checkpoint: restorable state is the
+		// initial (empty) tree, which the caller builds fresh.
+		return rec, nil, nil, nil
+	}
+
+	// 4. Load and validate the target epoch's segments against the sealed
+	// root digest.
+	segs, err := loadSegments(fsys, opts.Dir, target, expectFP, expectShards)
+	if err != nil {
+		return violation(fmt.Sprintf("epoch %d: %v", target, err))
+	}
+	intentDigest, ok := intents[target]
+	if !ok {
+		return violation(fmt.Sprintf("epoch %d has no sealed intent record", target))
+	}
+	if !segmentsMatch(target, segs, intentDigest) {
+		return violation(fmt.Sprintf("epoch %d segment roots do not reproduce the sealed root digest", target))
+	}
+	imgs := make([][]byte, expectShards)
+	roots := make([][]byte, expectShards)
+	for i, s := range segs {
+		imgs[i], roots[i] = s.Image, s.Root
+	}
+	return rec, imgs, roots, nil
+}
+
+// loadSegments reads and checksums every shard segment of epoch e.
+func loadSegments(fsys FS, dir string, e uint64, fp uint64, shards int) ([]*segment, error) {
+	segs := make([]*segment, shards)
+	for i := 0; i < shards; i++ {
+		buf, err := readFile(fsys, filepath.Join(dir, segName(e, i)))
+		if err != nil {
+			return nil, fmt.Errorf("segment %d missing or unreadable: %w", i, err)
+		}
+		s, err := decodeSegment(buf)
+		if err != nil {
+			return nil, fmt.Errorf("segment %d: %w", i, err)
+		}
+		if s.Epoch != e || s.Shard != uint32(i) || s.Fingerprint != fp {
+			return nil, fmt.Errorf("segment %d labeled epoch %d shard %d fp %016x, want epoch %d shard %d fp %016x",
+				i, s.Epoch, s.Shard, s.Fingerprint, e, i, fp)
+		}
+		segs[i] = s
+	}
+	return segs, nil
+}
+
+// segmentsMatch recomputes the root digest over the segments' roots and
+// compares it to the WAL's sealed digest.
+func segmentsMatch(e uint64, segs []*segment, sealed [16]byte) bool {
+	roots := make([][]byte, len(segs))
+	for i, s := range segs {
+		roots[i] = s.Root
+	}
+	return rootDigest(e, roots) == sealed
+}
+
+// appendRepairCommit seals the commit record recovery decided epoch e has
+// earned (roll-forward repair).
+func appendRepairCommit(fsys FS, dir string, e, fp uint64, shards int, digest [16]byte) error {
+	w, err := openWAL(fsys, dir)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	rec := walRecord{Type: recCommit, Epoch: e, Fingerprint: fp, Shards: uint32(shards), RootDigest: digest}
+	r := newRetrier(RetryPolicy{}, &Stats{})
+	return w.append(rec, r)
+}
+
+// commitManifest writes and atomically installs the manifest for epoch e
+// (the roll-forward completion of a torn checkpoint).
+func commitManifest(fsys FS, dir string, e, fp uint64, shards int) error {
+	man := &manifest{Epoch: e, Fingerprint: fp, Shards: uint32(shards)}
+	buf := man.encode()
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// truncateDanglingIntent rewrites the WAL without the records of epoch e —
+// the intent of a checkpoint recovery rolled back. Records are rewritten
+// rather than truncated by offset because a repair commit from an earlier
+// recovery may follow the dangling intent.
+func truncateDanglingIntent(fsys FS, dir string, e uint64) error {
+	scan, err := scanWAL(fsys, dir)
+	if err != nil {
+		return err
+	}
+	name := filepath.Join(dir, walName)
+	tmp := name + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, r := range scan.Records {
+		if r.Epoch == e {
+			continue
+		}
+		if _, err := f.Write(r.encode()); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

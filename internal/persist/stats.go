@@ -1,0 +1,109 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"memverify/internal/telemetry"
+)
+
+// RetryPolicy bounds the exponential backoff applied to transient
+// persistence I/O failures.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per operation (>= 1). 0
+	// selects the default of 4.
+	Attempts int
+	// BaseDelay is the sleep before the first retry; each subsequent
+	// retry doubles it. 0 selects 1ms. Campaigns set this to a nanosecond
+	// so a 200-injection run doesn't sleep its way through CI.
+	BaseDelay time.Duration
+	// MaxDelay caps the doubled delay. 0 selects 100ms.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	return p
+}
+
+// Stats counts the persistence layer's activity. All fields are
+// monotonic; Fill publishes them under the persist.* namespace.
+type Stats struct {
+	Checkpoints     uint64 // completed checkpoints
+	CheckpointFails uint64 // checkpoints abandoned on error
+	BytesWritten    uint64 // segment + manifest + WAL payload bytes
+	WALRecords      uint64 // sealed records appended (intent + commit)
+	Retries         uint64 // individual I/O retries after transient errors
+	RetryExhausted  uint64 // operations that failed even after retrying
+	Recoveries      uint64 // recovery attempts
+	RecoveredClean  uint64 // outcome: recovered-clean
+	RecoveredTorn   uint64 // outcome: recovered-torn
+	Violations      uint64 // outcome: violation
+	CheckpointNanos uint64 // wall time inside Checkpoint
+	RecoveryNanos   uint64 // wall time inside Recover
+}
+
+// Fill publishes the counters into a telemetry registry under persist.*.
+func (s *Stats) Fill(reg *telemetry.Registry) {
+	reg.Add("persist.checkpoints", s.Checkpoints)
+	reg.Add("persist.checkpoint_fails", s.CheckpointFails)
+	reg.Add("persist.bytes_written", s.BytesWritten)
+	reg.Add("persist.wal_records", s.WALRecords)
+	reg.Add("persist.retries", s.Retries)
+	reg.Add("persist.retry_exhausted", s.RetryExhausted)
+	reg.Add("persist.recoveries", s.Recoveries)
+	reg.Add("persist.recovered_clean", s.RecoveredClean)
+	reg.Add("persist.recovered_torn", s.RecoveredTorn)
+	reg.Add("persist.violations", s.Violations)
+	reg.Add("persist.checkpoint_nanos", s.CheckpointNanos)
+	reg.Add("persist.recovery_nanos", s.RecoveryNanos)
+}
+
+// retrier applies the policy to one operation at a time, charging retries
+// to the shared stats block.
+type retrier struct {
+	policy RetryPolicy
+	stats  *Stats
+	sleep  func(time.Duration) // swapped out by tests
+}
+
+func newRetrier(policy RetryPolicy, stats *Stats) *retrier {
+	return &retrier{policy: policy.withDefaults(), stats: stats, sleep: time.Sleep}
+}
+
+// do runs op, retrying transient failures with bounded exponential
+// backoff. ErrKilled is never retried: it models the process dying, and a
+// dead process does not get a second attempt. The final error is returned
+// unwrapped-compatible (errors.Is sees the cause) once attempts are
+// exhausted.
+func (r *retrier) do(op func() error) error {
+	delay := r.policy.BaseDelay
+	var err error
+	for attempt := 0; attempt < r.policy.Attempts; attempt++ {
+		if attempt > 0 {
+			r.stats.Retries++
+			r.sleep(delay)
+			delay *= 2
+			if delay > r.policy.MaxDelay {
+				delay = r.policy.MaxDelay
+			}
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrKilled) {
+			return err
+		}
+	}
+	r.stats.RetryExhausted++
+	return fmt.Errorf("persist: %d attempts exhausted: %w", r.policy.Attempts, err)
+}
