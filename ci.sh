@@ -192,6 +192,102 @@ go test -run '^$' -bench '(BenchmarkSimulatorThroughput|BenchmarkTelemetryOverhe
   }'
 echo "telemetry overhead gate OK"
 
+# Live ops gate: a multi-shard loadgen must serve a metricscheck-clean
+# Prometheus exposition while traffic runs — structurally legal text
+# format, counters monotonic across two scrapes — with /healthz healthy
+# and the sampler's progress line on stderr. -ops-listen :0 plus grepping
+# the logged URL keeps the gate parallel-safe.
+otmp=$(mktemp -d -t memverify-ops.XXXXXX)
+go build -o "$otmp/loadgen" ./cmd/loadgen
+go build -o "$otmp/metricscheck" ./cmd/metricscheck
+ops_url() { # $1: stderr log; prints host:port once the server announced it
+  sed -n 's#^ops: listening on http://##p' "$1" | head -1
+}
+"$otmp/loadgen" -scheme c -shards 4 -workers 2 -ops 300000 \
+  -ops-listen 127.0.0.1:0 -sample-every 100ms -ops-linger 15s \
+  >/dev/null 2>"$otmp/lg.log" &
+lgpid=$!
+addr=""
+for _ in $(seq 1 200); do
+  addr=$(ops_url "$otmp/lg.log")
+  [ -n "$addr" ] && break
+  sleep 0.05
+done
+if [ -z "$addr" ]; then
+  echo "FAIL: loadgen never logged its ops URL" >&2
+  exit 1
+fi
+"$otmp/metricscheck" -get "http://$addr/healthz" | grep -q '"status": "healthy"' || {
+  echo "FAIL: /healthz not healthy on a clean run" >&2; exit 1; }
+curl -fsS "http://$addr/metrics" >"$otmp/scrape1.prom"
+sleep 0.3
+curl -fsS "http://$addr/metrics" >"$otmp/scrape2.prom"
+"$otmp/metricscheck" "$otmp/scrape1.prom" >/dev/null
+"$otmp/metricscheck" -prev "$otmp/scrape1.prom" "$otmp/scrape2.prom"
+curl -fsS "http://$addr/vars" | head -c 1 | grep -q '{' || {
+  echo "FAIL: /vars is not JSON" >&2; exit 1; }
+grep -q '^loadgen: status ops/sec=' "$otmp/lg.log" || {
+  echo "FAIL: no sampler progress line on stderr" >&2; exit 1; }
+kill "$lgpid" 2>/dev/null || true
+wait "$lgpid" 2>/dev/null || true
+# Tamper leg: one corrupted shard of four must flip /healthz to degraded
+# (tamper containment — the surviving shards keep serving, so the status
+# stays HTTP 200 with a degraded body) and the flight dump must attribute
+# the violation to the tampered shard with a nonzero barrier epoch.
+"$otmp/loadgen" -shards 4 -workers 2 -ops 1500 -policy halt -speculative -tamper 1 \
+  -ops-listen 127.0.0.1:0 -ops-linger 5s -flight "$otmp/flight.json" \
+  >/dev/null 2>"$otmp/tamper.log" &
+tpid=$!
+for _ in $(seq 1 200); do
+  grep -q 'ops server lingering' "$otmp/tamper.log" && break
+  sleep 0.05
+done
+taddr=$(ops_url "$otmp/tamper.log")
+if [ -z "$taddr" ]; then
+  echo "FAIL: tamper loadgen never logged its ops URL" >&2
+  exit 1
+fi
+"$otmp/metricscheck" -get "http://$taddr/healthz" >"$otmp/tamper-health.json" || true
+grep -q '"status": "degraded"' "$otmp/tamper-health.json" || {
+  echo "FAIL: tampered store /healthz did not report degraded" >&2; exit 1; }
+grep -q '"halted_shards": 1' "$otmp/tamper-health.json" || {
+  echo "FAIL: tampered store /healthz did not count the halted shard" >&2; exit 1; }
+set +e
+wait "$tpid"
+tstatus=$?
+set -e
+if [ "$tstatus" -eq 0 ]; then
+  echo "FAIL: tamper leg exited 0" >&2
+  exit 1
+fi
+grep -q '"kind": "violation", "seq": [0-9]*, "shard": 1' "$otmp/flight.json" || {
+  echo "FAIL: flight dump does not attribute the violation to shard 1" >&2; exit 1; }
+grep -q '"kind": "shard-halt"' "$otmp/flight.json" || {
+  echo "FAIL: flight dump missing the shard-halt event" >&2; exit 1; }
+epoch=$(sed -n 's/.*"epoch": \([0-9][0-9]*\), "kind": "violation".*/\1/p' "$otmp/flight.json" | head -1)
+if [ -z "$epoch" ] || [ "$epoch" -eq 0 ]; then
+  echo "FAIL: flight-recorded violation has no barrier epoch (got '$epoch')" >&2
+  exit 1
+fi
+rm -rf "$otmp"
+echo "live ops gate OK"
+
+# Ops overhead gate: with -ops-listen up but nobody scraping, store
+# traffic must stay within 2% of the no-ops baseline. Min over three
+# repetitions, same reasoning as the telemetry overhead gate; 30000
+# iterations span at least one full sampler tick at the default cadence.
+go test -run '^$' -bench 'BenchmarkStoreOps(Baseline|EnabledUnscraped)' \
+  -benchtime 30000x -count 3 ./internal/obs/ | awk '
+  $1 ~ /^BenchmarkStoreOpsBaseline(-[0-9]+)?$/         { if (base == "" || $3 < base) base = $3 }
+  $1 ~ /^BenchmarkStoreOpsEnabledUnscraped(-[0-9]+)?$/ { if (en == "" || $3 < en) en = $3 }
+  END {
+    if (base == "" || en == "") { print "FAIL: benchmark output missing"; exit 1 }
+    delta = (en - base) / base
+    printf "ops enabled-unscraped overhead: base %d ns/op, enabled %d ns/op (%+.1f%%)\n", base, en, 100 * delta
+    if (delta > 0.02) { print "FAIL: enabled-unscraped ops surface exceeds the 2% overhead budget"; exit 1 }
+  }'
+echo "ops overhead gate OK"
+
 # Fuzz smoke: drive the functional machine through interleaved accesses
 # and adversary mutations for a few seconds looking for panics or missed
 # post-eviction corruption.

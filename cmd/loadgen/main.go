@@ -30,10 +30,13 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"memverify/internal/cache"
 	"memverify/internal/core"
+	"memverify/internal/integrity"
+	"memverify/internal/obs"
 	"memverify/internal/persist"
 	"memverify/internal/prefetch"
 	"memverify/internal/runflags"
@@ -180,6 +183,8 @@ func run() error {
 		"crash point: wal-write, wal-sync, between-wal-checkpoint, seg-write, seg-sync, manifest-write, manifest-rename, any")
 	restart := flag.Bool("restart", false, "recover the store from -persist before generating traffic")
 	expectOutcome := flag.String("expect-outcome", "", "with -restart: comma-separated acceptable recovery outcomes; exit 0 on match without running traffic, 1 otherwise")
+	opsLinger := flag.Duration("ops-linger", 0, "keep the ops server alive this long after the run completes (lets a scraper read the final /metrics, /healthz and /flightrecord)")
+	progress := flag.Bool("progress", true, "with -ops-listen: print a one-line throughput/violations status per sample")
 	rf := runflags.Add()
 	flag.Parse()
 
@@ -222,7 +227,16 @@ func run() error {
 	}
 
 	recs := rf.NewRecorders(*shards)
-	scfg := shard.Config{Machine: cfg, Shards: *shards, QueueDepth: *queueDepth, Recorders: recs}
+	fr := rf.NewFlightRecorder()
+	defer rf.DumpFlight(fr)
+	pobs := &persistObs{}
+	scfg := shard.Config{Machine: cfg, Shards: *shards, QueueDepth: *queueDepth, Recorders: recs,
+		OnViolation: func(sh int, v *integrity.ViolationError, halted bool) {
+			fr.Record(obs.EvViolation, sh, v.Epoch, v.Error())
+			if halted {
+				fr.Record(obs.EvShardHalt, sh, v.Epoch, "halt policy tripped")
+			}
+		}}
 
 	// Build (or recover) the store.
 	var s *shard.Store
@@ -230,11 +244,12 @@ func run() error {
 		if *persistDir == "" {
 			return fmt.Errorf("-restart needs -persist DIR")
 		}
-		rs, rec, err := persist.RecoverStore(persist.Options{Dir: *persistDir}, scfg)
+		rs, rec, err := persist.RecoverStore(persist.Options{Dir: *persistDir, OnEvent: persistEvent(fr)}, scfg)
 		if err != nil {
 			return err
 		}
 		s = rs
+		pobs.noteRecovery(rec)
 		fmt.Printf("loadgen: recovery outcome=%s epoch=%d rolled_forward=%t wal_repaired=%t",
 			rec.Outcome, rec.Epoch, rec.RolledForward, rec.WALRepaired)
 		if rec.Detail != "" {
@@ -270,11 +285,45 @@ func run() error {
 		return fmt.Errorf("stripe %d too small for %dB operations; fewer workers or more protected bytes", stripe, *maxLen)
 	}
 
+	// The live ops surface: sampler fills route through the shard worker
+	// queues, so scraping is safe while traffic runs. No trace recorders
+	// are attached by -ops-listen alone — /trace works only when -trace or
+	// -metrics asked for recorders, keeping the enabled-but-unscraped
+	// overhead within the telemetry budget.
+	var progressFn func(obs.Sample)
+	if *progress {
+		progressFn = func(sm obs.Sample) {
+			fmt.Fprintf(os.Stderr,
+				"loadgen: status ops/sec=%.0f bytes/sec=%.0f violations=%d halted_shards=%.0f\n",
+				sm.Derived[obs.SeriesOpsPerSec], sm.Derived[obs.SeriesBytesPerSec],
+				sm.Counters["shard.violations"], sm.Gauges["shard.halted_shards"])
+		}
+	}
+	srv, err := rf.StartOps(obs.Options{
+		Fill: func(reg *telemetry.Registry) {
+			s.FillRegistry(reg)
+			pobs.fill(reg)
+		},
+		Health: func() obs.Health {
+			n, halted, viol := s.Health()
+			return obs.Health{Shards: n, HaltedShards: halted, PendingViolations: viol}
+		},
+		Flight:       fr,
+		CaptureTrace: captureTrace(s, recs),
+		OnSample:     progressFn,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fr.Record(obs.EvRunStart, -1, 0, fmt.Sprintf("scheme=%s shards=%d workers=%d ops=%d workload=%s",
+		*scheme, *shards, *workers, *ops, *workload))
+
 	var failed bool
 	start := time.Now()
 	if *persistDir != "" {
 		err = runPersistent(s, scfg, *persistDir, *workload, *workers, *ops, *ckptEvery,
-			*batch, *maxLen, *writeFrac, *seed, *killAfter, *killStage, *policy, *restart, rf)
+			*batch, *maxLen, *writeFrac, *seed, *killAfter, *killStage, *policy, *restart, fr, pobs)
 		if err != nil {
 			if errors.Is(err, errKilled) {
 				return err
@@ -292,6 +341,7 @@ func run() error {
 			m.EvictProtected()
 			m.Adversary().Corrupt(m.ProgAddr(0), 0xFF)
 		})
+		fr.Record(obs.EvTamper, *tamper, 0, "injected corruption after the traffic phase")
 	}
 	if *verify && !failed {
 		if err := s.VerifyAll(); err != nil {
@@ -304,11 +354,19 @@ func run() error {
 		failed = true
 	}
 
+	// Sampling must stop before Close: once the workers exit, fills would
+	// run inline on whatever goroutine asked. The server itself stays up
+	// (serving the published final state) through the linger window.
+	srv.StopSampling()
 	s.Close()
 	agg := s.Metrics()
-	if reg := rf.NewRegistry(); reg != nil {
-		s.FillRegistry(reg)
-		if err := rf.WriteMetrics(reg); err != nil {
+	fr.Record(obs.EvRunEnd, -1, 0, fmt.Sprintf("failed=%t violations=%d", failed, len(s.Violations())))
+	if srv != nil || rf.MetricsPath() != "" {
+		finalReg := telemetry.NewRegistry()
+		s.FillRegistry(finalReg)
+		pobs.fill(finalReg)
+		srv.Publish(finalReg)
+		if err := rf.WriteMetrics(finalReg); err != nil {
 			return err
 		}
 	}
@@ -349,10 +407,74 @@ func run() error {
 			sp.Checks, sp.Writebacks, sp.OverlapCycles, sp.WindowStalls, sp.Barriers, sp.BarrierWaitCycles,
 			sp.Coalesced, sp.SavedBlockReads)
 	}
+	if srv != nil && *opsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: ops server lingering %s at http://%s\n", *opsLinger, srv.Addr())
+		time.Sleep(*opsLinger)
+	}
 	if failed {
 		return errFailed
 	}
 	return nil
+}
+
+// persistEvent adapts persist's protocol hook to the flight recorder;
+// persistence events are store-wide, not shard-attributed. Returns nil
+// when the recorder is disabled so persist skips the calls entirely.
+func persistEvent(fr *obs.FlightRecorder) func(kind string, epoch uint64, detail string) {
+	if fr == nil {
+		return nil
+	}
+	return func(kind string, epoch uint64, detail string) { fr.Record(kind, -1, epoch, detail) }
+}
+
+// captureTrace returns the /trace capture closure: each shard's trace
+// tail is copied on that shard's worker goroutine (or inline once the
+// store is closed and the traces quiescent). nil when no recorders are
+// attached — the endpoint then explains how to enable tracing.
+func captureTrace(s *shard.Store, recs []*telemetry.Recorder) func(uint64) ([]*telemetry.Trace, error) {
+	if recs == nil {
+		return nil
+	}
+	return func(cycles uint64) ([]*telemetry.Trace, error) {
+		out := make([]*telemetry.Trace, len(recs))
+		for i := range recs {
+			i := i
+			s.WithShard(i, func(*core.Machine) { out[i] = recs[i].Trace.Tail(cycles) })
+		}
+		return out, nil
+	}
+}
+
+// persistObs makes persistence counters visible to the live sampler
+// without racing the checkpoint path: recovery stats are noted once at
+// startup, and the checkpoint store's counters are snapshotted (on the
+// goroutine driving the rounds) after every checkpoint attempt.
+type persistObs struct {
+	mu    sync.Mutex
+	recov persist.Stats
+	ckpt  persist.Stats
+}
+
+func (p *persistObs) noteRecovery(rec *persist.Recovery) {
+	p.mu.Lock()
+	p.recov.NoteRecovery(rec)
+	p.mu.Unlock()
+}
+
+func (p *persistObs) setCkpt(st persist.Stats) {
+	p.mu.Lock()
+	p.ckpt = st
+	p.mu.Unlock()
+}
+
+// fill publishes both halves into reg; recovery and checkpoint counters
+// are disjoint, so Adding them into the same namespace never
+// double-counts.
+func (p *persistObs) fill(reg *telemetry.Registry) {
+	p.mu.Lock()
+	p.recov.Fill(reg)
+	p.ckpt.Fill(reg)
+	p.mu.Unlock()
 }
 
 // runConcurrent is the original fully concurrent traffic phase: one
@@ -453,7 +575,8 @@ func runConcurrent(s *shard.Store, workload string, workers, ops, batch, maxLen 
 // After a -restart recovery, mirrors are seeded from the recovered bytes.
 func runPersistent(s *shard.Store, scfg shard.Config, dir, workload string,
 	workers, ops, ckptEvery, batch, maxLen int, writeFrac float64, seed uint64,
-	killAfter int, killStage, policy string, restarted bool, rf *runflags.Flags) error {
+	killAfter int, killStage, policy string, restarted bool,
+	fr *obs.FlightRecorder, pobs *persistObs) error {
 
 	span := s.Span()
 	stripe := span / uint64(workers)
@@ -462,7 +585,7 @@ func runPersistent(s *shard.Store, scfg shard.Config, dir, workload string,
 	}
 
 	var ffs *persist.FaultFS
-	popts := persist.Options{Dir: dir, Policy: policy}
+	popts := persist.Options{Dir: dir, Policy: policy, OnEvent: persistEvent(fr)}
 	if killAfter > 0 {
 		ffs = persist.NewFaultFS(nil)
 		popts.FS = ffs
@@ -510,8 +633,10 @@ func runPersistent(s *shard.Store, scfg shard.Config, dir, workload string,
 			ffs.Kill(persist.KillRule{Stage: killStage})
 		}
 		epoch, err := st.Checkpoint(persist.StoreSource{S: s})
+		pobs.setCkpt(st.Stats())
 		if err != nil {
 			if ffs != nil && ffs.Killed() {
+				fr.Record(obs.EvKill, -1, st.Epoch(), fmt.Sprintf("died at stage %s during checkpoint %d", killStage, checkpoints))
 				return fmt.Errorf("checkpoint %d: %w", checkpoints, errKilled)
 			}
 			return fmt.Errorf("checkpoint %d: %w", checkpoints, err)
@@ -522,9 +647,6 @@ func runPersistent(s *shard.Store, scfg shard.Config, dir, workload string,
 	pst := st.Stats()
 	fmt.Printf("loadgen: persist checkpoints=%d wal_records=%d bytes_written=%d retries=%d\n",
 		pst.Checkpoints, pst.WALRecords, pst.BytesWritten, pst.Retries)
-	if reg := rf.NewRegistry(); reg != nil {
-		pst.Fill(reg)
-	}
 	return nil
 }
 

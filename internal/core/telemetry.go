@@ -51,9 +51,12 @@ func (m *Machine) FillRegistry(reg *telemetry.Registry, mt *Metrics) {
 
 	// Tree-node cache residency: what fraction of the L2 the hash tree
 	// occupies right now (§6.4.1's cache-pollution axis).
+	// Residency is a level, not an accumulation — exported as gauges so a
+	// live scrape of a store (which re-fills a fresh registry every sample)
+	// never shows a "counter" moving backwards as lines are evicted.
 	totalLines := m.Cfg.L2Size / m.Cfg.L2Block
-	reg.Add("l2.resident_lines_data", uint64(m.L2.ResidentLinesClass(cache.Data)))
-	reg.Add("l2.resident_lines_hash", uint64(m.L2.ResidentLinesClass(cache.Hash)))
+	reg.SetGauge("l2.resident_lines_data", float64(m.L2.ResidentLinesClass(cache.Data)))
+	reg.SetGauge("l2.resident_lines_hash", float64(m.L2.ResidentLinesClass(cache.Hash)))
 	if totalLines > 0 {
 		reg.SetGauge("l2.hash_residency",
 			float64(m.L2.ResidentLinesClass(cache.Hash))/float64(totalLines))
@@ -67,7 +70,7 @@ func (m *Machine) FillRegistry(reg *telemetry.Registry, mt *Metrics) {
 		reg.Add("vc.misses", vs.Misses[cache.Hash]+vs.WriteMiss[cache.Hash])
 		reg.Add("vc.evictions", vs.Evictions[cache.Hash])
 		reg.Add("vc.writebacks", vs.WriteBacks[cache.Hash])
-		reg.Add("vc.resident_lines", uint64(m.VC.ResidentLinesClass(cache.Hash)))
+		reg.SetGauge("vc.resident_lines", float64(m.VC.ResidentLinesClass(cache.Hash)))
 		reg.SetGauge("vc.hit_rate", mt.VCHitRate)
 		if m.Cfg.VerifyCacheLines > 0 {
 			reg.SetGauge("vc.occupancy",

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// HealthState is the store-wide liveness verdict the /healthz endpoint
+// reports.
+type HealthState int
+
+const (
+	// Healthy: every shard serving, no violations on record, no recovery
+	// in progress.
+	Healthy HealthState = iota
+	// Degraded: the store still serves, but something an operator must
+	// look at happened — at least one (but not every) shard halted, a
+	// violation is on record, or a recovery is in progress.
+	Degraded
+	// Unhealthy: the store no longer serves — every shard halted (or the
+	// health source itself is gone).
+	Unhealthy
+)
+
+// String returns the state's wire name.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	default:
+		return "unhealthy"
+	}
+}
+
+// Health is one liveness snapshot, produced by the driver's HealthFunc on
+// every /healthz or /readyz request.
+type Health struct {
+	Shards            int
+	HaltedShards      int
+	PendingViolations int
+	Recovering        bool
+	Detail            string
+}
+
+// HealthFunc produces a liveness snapshot. It runs on HTTP handler
+// goroutines and must be safe to call concurrently with the workload.
+type HealthFunc func() Health
+
+// State classifies the snapshot: unhealthy when every shard halted,
+// degraded on any partial halt, pending violation or in-flight recovery,
+// healthy otherwise.
+func (h Health) State() HealthState {
+	switch {
+	case h.Shards > 0 && h.HaltedShards >= h.Shards:
+		return Unhealthy
+	case h.HaltedShards > 0 || h.PendingViolations > 0 || h.Recovering:
+		return Degraded
+	default:
+		return Healthy
+	}
+}
+
+// Ready reports whether the store should receive traffic: it must not be
+// mid-recovery and at least one shard must still serve. A degraded store
+// remains ready — tamper containment means the surviving shards answer.
+func (h Health) Ready() bool {
+	if h.Recovering {
+		return false
+	}
+	return !(h.Shards > 0 && h.HaltedShards >= h.Shards)
+}
+
+// WriteJSON writes the snapshot as deterministic sorted-key JSON — the
+// /healthz and /readyz response body.
+func (h Health) WriteJSON(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"{\"detail\": %q, \"halted_shards\": %d, \"pending_violations\": %d, \"ready\": %t, \"recovering\": %t, \"shards\": %d, \"status\": %q}\n",
+		h.Detail, h.HaltedShards, h.PendingViolations, h.Ready(), h.Recovering, h.Shards, h.State())
+	return err
+}

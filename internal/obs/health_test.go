@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHealthStateTransitions(t *testing.T) {
+	cases := []struct {
+		name  string
+		h     Health
+		state HealthState
+		ready bool
+	}{
+		{"all serving", Health{Shards: 4}, Healthy, true},
+		{"no shards wired", Health{}, Healthy, true},
+		{"one of four halted", Health{Shards: 4, HaltedShards: 1}, Degraded, true},
+		{"three of four halted", Health{Shards: 4, HaltedShards: 3}, Degraded, true},
+		{"pending violation", Health{Shards: 4, PendingViolations: 2}, Degraded, true},
+		{"recovering", Health{Shards: 4, Recovering: true}, Degraded, false},
+		{"every shard halted", Health{Shards: 4, HaltedShards: 4}, Unhealthy, false},
+		{"single shard halted", Health{Shards: 1, HaltedShards: 1}, Unhealthy, false},
+	}
+	for _, tc := range cases {
+		if got := tc.h.State(); got != tc.state {
+			t.Errorf("%s: state = %v, want %v", tc.name, got, tc.state)
+		}
+		if got := tc.h.Ready(); got != tc.ready {
+			t.Errorf("%s: ready = %t, want %t", tc.name, got, tc.ready)
+		}
+	}
+}
+
+func TestHealthWriteJSON(t *testing.T) {
+	h := Health{Shards: 4, HaltedShards: 1, PendingViolations: 1, Detail: "tamper"}
+	var b strings.Builder
+	if err := h.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"detail": "tamper", "halted_shards": 1, "pending_violations": 1, "ready": true, "recovering": false, "shards": 4, "status": "degraded"}` + "\n"
+	if b.String() != want {
+		t.Errorf("health JSON:\n got %s want %s", b.String(), want)
+	}
+}

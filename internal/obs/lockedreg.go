@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sync"
+
+	"memverify/internal/telemetry"
+)
+
+// LockedRegistry is a mutex-guarded accumulating registry for drivers
+// whose engines run on arbitrary goroutines (the figure sweep's parallel
+// runners, the chaos orchestrator's campaign children): each finished
+// unit of work merges its end-of-run registry in, and the sampler's Fill
+// closure snapshots the accumulated state. This is the bridge between
+// the repo's fill-once-at-end registries and the live scrape surface for
+// drivers that have no shard workers to route a live fill through.
+type LockedRegistry struct {
+	mu  sync.Mutex
+	reg *telemetry.Registry
+}
+
+// NewLockedRegistry returns an empty accumulator.
+func NewLockedRegistry() *LockedRegistry {
+	return &LockedRegistry{reg: telemetry.NewRegistry()}
+}
+
+// Merge folds src into the accumulator (counters add, gauges overwrite,
+// histograms merge, series append). Nil-safe on both sides.
+func (l *LockedRegistry) Merge(src *telemetry.Registry) {
+	if l == nil || src == nil {
+		return
+	}
+	l.mu.Lock()
+	src.MergeInto(l.reg)
+	l.mu.Unlock()
+}
+
+// Add accumulates a counter directly — for driver-level progress
+// counters (runs completed, campaigns finished) with no engine registry
+// behind them. Nil-safe.
+func (l *LockedRegistry) Add(name string, d uint64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.reg.Add(name, d)
+	l.mu.Unlock()
+}
+
+// SetGauge records a point-in-time value. Nil-safe.
+func (l *LockedRegistry) SetGauge(name string, v float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.reg.SetGauge(name, v)
+	l.mu.Unlock()
+}
+
+// Fill merges the accumulated state into dst under the lock — the shape
+// the sampler's Fill closure wants. Nil-safe.
+func (l *LockedRegistry) Fill(dst *telemetry.Registry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.reg.MergeInto(dst)
+	l.mu.Unlock()
+}

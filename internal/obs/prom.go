@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"memverify/internal/stats"
+	"memverify/internal/telemetry"
+)
+
+// MetricPrefix namespaces every exported metric; internal registry names
+// like "shard.ops_submitted" become "memverify_shard_ops_submitted".
+const MetricPrefix = "memverify_"
+
+// SamplerPrefix namespaces the sampler's derived signals (rates and
+// rolling quantiles), e.g. "memverify_sampler_ops_per_sec_p99".
+const SamplerPrefix = MetricPrefix + "sampler_"
+
+// PromName maps an internal metric name to its Prometheus exposition
+// name: prefixed and with every character outside [a-zA-Z0-9_:] replaced
+// by '_'. The prefix guarantees a legal first character.
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString(MetricPrefix)
+	for _, c := range name {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':' {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat prints a sample value the way Prometheus expects: decimal
+// with no exponent surprises, +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WriteExposition writes the registry snapshot (plus the sampler's
+// derived gauges, which may be nil) in Prometheus text exposition format
+// (version 0.0.4): one HELP + TYPE header per family, families sorted by
+// exposition name, histogram families with cumulative le buckets, _sum
+// and _count. Series are not exported — per-window arrays have no
+// Prometheus shape; they remain available from /vars. Two internal names
+// colliding after sanitation is an error (it means a metric was named
+// carelessly), not a silent overwrite.
+func WriteExposition(w io.Writer, reg *telemetry.Registry, sampler map[string]float64) error {
+	type family struct {
+		orig string // internal name, for HELP
+		typ  string // counter | gauge | histogram
+		emit func(pr func(format string, args ...any), name string)
+	}
+	fams := map[string]family{}
+	var firstErr error
+	add := func(promName string, f family) {
+		if prev, ok := fams[promName]; ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("obs: metric names %q and %q both export as %q",
+					prev.orig, f.orig, promName)
+			}
+			return
+		}
+		fams[promName] = f
+	}
+
+	if reg != nil {
+		reg.EachCounter(func(name string, v uint64) {
+			add(PromName(name), family{orig: name, typ: "counter",
+				emit: func(pr func(string, ...any), n string) { pr("%s %d\n", n, v) }})
+		})
+		reg.EachGauge(func(name string, v float64) {
+			add(PromName(name), family{orig: name, typ: "gauge",
+				emit: func(pr func(string, ...any), n string) { pr("%s %s\n", n, promFloat(v)) }})
+		})
+		reg.EachHistogram(func(name string, h *stats.Histogram) {
+			hc := h.Clone() // detach from the registry before the handler writes
+			add(PromName(name), family{orig: name, typ: "histogram",
+				emit: func(pr func(string, ...any), n string) { emitHistogram(pr, n, hc) }})
+		})
+	}
+	for name, v := range sampler {
+		v := v
+		promName := SamplerPrefix + strings.TrimPrefix(PromName(name), MetricPrefix)
+		add(promName, family{orig: "sampler " + name, typ: "gauge",
+			emit: func(pr func(string, ...any), n string) { pr("%s %s\n", n, promFloat(v)) }})
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, n := range names {
+		f := fams[n]
+		pr("# HELP %s memverify %s %s\n", n, f.typ, escapeHelp(f.orig))
+		pr("# TYPE %s %s\n", n, f.typ)
+		f.emit(pr, n)
+	}
+	return err
+}
+
+// emitHistogram writes one histogram family: cumulative counts at each
+// upper bound, the mandatory +Inf bucket, then _sum and _count.
+func emitHistogram(pr func(format string, args ...any), name string, h *stats.Histogram) {
+	bounds := h.Bounds()
+	buckets := h.Buckets()
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += buckets[i]
+		pr("%s_bucket{le=\"%d\"} %d\n", name, b, cum)
+	}
+	pr("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	pr("%s_sum %d\n", name, h.Sum())
+	pr("%s_count %d\n", name, h.Count())
+}

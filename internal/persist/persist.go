@@ -46,6 +46,38 @@ type Options struct {
 	// every later Checkpoint fails fast with ErrStoreFailed — while
 	// "record" counts the failure and lets the next checkpoint try again.
 	Policy string
+	// OnEvent, when set, fires once per externally significant protocol
+	// transition with an Event* kind, the epoch it concerns and a short
+	// detail string. It runs synchronously on the goroutine driving the
+	// checkpoint or recovery — the flight-recorder feed.
+	OnEvent func(kind string, epoch uint64, detail string)
+}
+
+// Event kinds passed to Options.OnEvent. The strings deliberately match
+// the obs package's flight-recorder taxonomy so drivers can pass them
+// through verbatim.
+const (
+	// EventIntent: the WAL intent record for a new epoch was fsynced —
+	// epoch numbering has advanced even if the process now dies.
+	EventIntent = "checkpoint-intent"
+	// EventCommit: the manifest rename landed — the new epoch is the
+	// recovery target from here on.
+	EventCommit = "checkpoint-commit"
+	// EventSeal: the WAL commit record was fsynced — the checkpoint is
+	// fully sealed.
+	EventSeal = "checkpoint-seal"
+	// EventRecovery: a recovery classified; detail holds the outcome.
+	EventRecovery = "recovery"
+	// EventRetryExhausted: an I/O operation failed even after the
+	// bounded-backoff retries.
+	EventRetryExhausted = "retry-exhausted"
+)
+
+// note fires the OnEvent hook when present.
+func (o Options) note(kind string, epoch uint64, detail string) {
+	if o.OnEvent != nil {
+		o.OnEvent(kind, epoch, detail)
+	}
 }
 
 // ErrStoreFailed reports a store poisoned by an exhausted-retry I/O
@@ -130,11 +162,12 @@ func Fingerprint(cfg core.Config, shards int) uint64 {
 // single-goroutine: callers serialize Checkpoint with their own workload
 // barriers (a checkpoint is itself a commit point).
 type Store struct {
-	dir    string
-	fsys   FS
-	wal    *wal
-	retry  *retrier
-	policy string
+	dir     string
+	fsys    FS
+	wal     *wal
+	retry   *retrier
+	policy  string
+	onEvent func(kind string, epoch uint64, detail string)
 
 	epoch  uint64 // last epoch this store sealed an intent for
 	shards int    // fixed at the first checkpoint
@@ -160,8 +193,13 @@ func Open(opts Options) (*Store, error) {
 	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: opts.Dir, fsys: fsys, policy: opts.Policy}
+	s := &Store{dir: opts.Dir, fsys: fsys, policy: opts.Policy, onEvent: opts.OnEvent}
 	s.retry = newRetrier(opts.Retry, &s.stats)
+	if s.onEvent != nil {
+		s.retry.onExhausted = func(err error) {
+			s.onEvent(EventRetryExhausted, s.epoch, err.Error())
+		}
+	}
 
 	scan, err := scanWAL(fsys, opts.Dir)
 	if err != nil {
@@ -284,6 +322,9 @@ func (s *Store) checkpoint(src Source) (uint64, error) {
 	// The intent is sealed: from here on, epoch numbering has advanced
 	// even if the checkpoint dies — recovery resolves the tear.
 	s.epoch = epoch
+	if s.onEvent != nil {
+		s.onEvent(EventIntent, epoch, "WAL intent sealed")
+	}
 
 	for i := 0; i < n; i++ {
 		seg := &segment{Epoch: epoch, Shard: uint32(i), Fingerprint: fp, Root: roots[i], Image: imgs[i]}
@@ -309,6 +350,9 @@ func (s *Store) checkpoint(src Source) (uint64, error) {
 		return 0, fmt.Errorf("persist: manifest commit: %w", err)
 	}
 	s.stats.BytesWritten += uint64(len(mbuf))
+	if s.onEvent != nil {
+		s.onEvent(EventCommit, epoch, "manifest renamed")
+	}
 
 	rec.Type = recCommit
 	if err := s.wal.append(rec, s.retry); err != nil {
@@ -316,6 +360,9 @@ func (s *Store) checkpoint(src Source) (uint64, error) {
 	}
 	s.stats.WALRecords++
 	s.stats.BytesWritten += walRecordSize
+	if s.onEvent != nil {
+		s.onEvent(EventSeal, epoch, "WAL commit sealed")
+	}
 
 	s.gc(epoch)
 	return epoch, nil

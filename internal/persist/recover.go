@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"memverify/internal/core"
 	"memverify/internal/shard"
@@ -57,6 +58,23 @@ type Recovery struct {
 	// Violations counts engine violations raised while re-verifying the
 	// restored image against the sealed root.
 	Violations int
+	// Elapsed is the wall time the recovery took, including the engine
+	// re-verification for RecoverMachine/RecoverStore.
+	Elapsed time.Duration
+}
+
+// finish stamps the recovery's wall time and fires the OnEvent hook with
+// its classification. Safe on a nil rec (hard-error paths).
+func finishRecovery(opts Options, rec *Recovery, start time.Time) {
+	if rec == nil {
+		return
+	}
+	rec.Elapsed = time.Since(start)
+	detail := string(rec.Outcome)
+	if rec.Detail != "" {
+		detail += ": " + rec.Detail
+	}
+	opts.note(EventRecovery, rec.Epoch, detail)
 }
 
 // errFingerprint marks the loud config-mismatch failure.
@@ -77,6 +95,7 @@ func IsFingerprintMismatch(err error) bool { return errors.Is(err, errFingerprin
 // A hard error (unreadable directory, fingerprint mismatch, invalid cfg)
 // is returned as err with a nil machine.
 func RecoverMachine(opts Options, cfg core.Config) (*core.Machine, *Recovery, error) {
+	start := time.Now()
 	rec, imgs, roots, err := recoverState(opts, Fingerprint(cfg, 1), 1)
 	if err != nil {
 		return nil, nil, err
@@ -92,6 +111,7 @@ func RecoverMachine(opts Options, cfg core.Config) (*core.Machine, *Recovery, er
 		verifyRestored(rec, m)
 		rec.Roots = [][]byte{m.Root()}
 	}
+	finishRecovery(opts, rec, start)
 	return m, rec, nil
 }
 
@@ -104,6 +124,7 @@ func RecoverStore(opts Options, scfg shard.Config) (*shard.Store, *Recovery, err
 	if scfg.Shards < 1 {
 		return nil, nil, fmt.Errorf("persist: need at least one shard, got %d", scfg.Shards)
 	}
+	start := time.Now()
 	per := scfg.Machine
 	per.ProtectedBytes = scfg.Machine.ProtectedBytes / uint64(scfg.Shards)
 	rec, imgs, roots, err := recoverState(opts, Fingerprint(per, scfg.Shards), scfg.Shards)
@@ -138,6 +159,7 @@ func RecoverStore(opts Options, scfg shard.Config) (*shard.Store, *Recovery, err
 			}
 		}
 	}
+	finishRecovery(opts, rec, start)
 	return s, rec, nil
 }
 
@@ -185,7 +207,9 @@ func Recover(opts Options, cfg core.Config, shards int) (*Recovery, error) {
 	if shards < 1 {
 		shards = 1
 	}
+	start := time.Now()
 	rec, _, _, err := recoverState(opts, Fingerprint(cfg, shards), shards)
+	finishRecovery(opts, rec, start)
 	return rec, err
 }
 

@@ -68,12 +68,34 @@ func (s *Stats) Fill(reg *telemetry.Registry) {
 	reg.Add("persist.recovery_nanos", s.RecoveryNanos)
 }
 
+// NoteRecovery folds one recovery's classification and wall time into
+// the counters — drivers call it on the Stats block they publish so
+// recovery latency shows up as persist.recovery_nanos over
+// persist.recoveries.
+func (s *Stats) NoteRecovery(rec *Recovery) {
+	if rec == nil {
+		return
+	}
+	s.Recoveries++
+	s.RecoveryNanos += uint64(rec.Elapsed)
+	switch rec.Outcome {
+	case OutcomeClean:
+		s.RecoveredClean++
+	case OutcomeTorn:
+		s.RecoveredTorn++
+	case OutcomeViolation:
+		s.Violations++
+	}
+}
+
 // retrier applies the policy to one operation at a time, charging retries
 // to the shared stats block.
 type retrier struct {
 	policy RetryPolicy
 	stats  *Stats
 	sleep  func(time.Duration) // swapped out by tests
+	// onExhausted fires after an operation burned every attempt.
+	onExhausted func(error)
 }
 
 func newRetrier(policy RetryPolicy, stats *Stats) *retrier {
@@ -105,5 +127,8 @@ func (r *retrier) do(op func() error) error {
 		}
 	}
 	r.stats.RetryExhausted++
+	if r.onExhausted != nil {
+		r.onExhausted(err)
+	}
 	return fmt.Errorf("persist: %d attempts exhausted: %w", r.policy.Attempts, err)
 }

@@ -46,6 +46,14 @@ type Config struct {
 	// (len must equal Shards). Each shard's trace renders as its own
 	// process in the merged Chrome export (telemetry.WriteChromeTraces).
 	Recorders []*telemetry.Recorder
+
+	// OnViolation, when set, fires once per detected violation with the
+	// shard it hit, the violation itself and whether the halt policy took
+	// the shard down. It runs on the detecting shard's worker goroutine
+	// (outside the store lock) and must not call back into the store —
+	// it exists so a driver can feed a flight recorder the moment the
+	// evidence appears rather than at end of run.
+	OnViolation func(shard int, v *integrity.ViolationError, halted bool)
 }
 
 // Violation is one detected integrity violation attributed to a shard.
@@ -88,6 +96,8 @@ type Store struct {
 	ops   atomic.Uint64
 	bytes atomic.Uint64
 
+	onViolation func(shard int, v *integrity.ViolationError, halted bool)
+
 	mu         sync.Mutex
 	violations []Violation
 	halted     []bool
@@ -117,10 +127,11 @@ func New(cfg Config) (*Store, error) {
 	}
 
 	s := &Store{
-		shards: make([]*worker, cfg.Shards),
-		halt:   cfg.Machine.ViolationPolicy == "halt",
-		spec:   cfg.Machine.Speculative,
-		halted: make([]bool, cfg.Shards),
+		shards:      make([]*worker, cfg.Shards),
+		halt:        cfg.Machine.ViolationPolicy == "halt",
+		spec:        cfg.Machine.Speculative,
+		halted:      make([]bool, cfg.Shards),
+		onViolation: cfg.OnViolation,
 	}
 	for i := range s.shards {
 		c := per
@@ -168,7 +179,8 @@ func (w *worker) run() {
 }
 
 // noteViolation is every machine's violation observer; it runs on the
-// owning shard's worker goroutine.
+// owning shard's worker goroutine. The OnViolation hook fires after the
+// store lock is released.
 func (s *Store) noteViolation(i int, v *integrity.ViolationError) {
 	s.mu.Lock()
 	s.violations = append(s.violations, Violation{Shard: i, Err: v})
@@ -176,6 +188,9 @@ func (s *Store) noteViolation(i int, v *integrity.ViolationError) {
 		s.halted[i] = true
 	}
 	s.mu.Unlock()
+	if s.onViolation != nil {
+		s.onViolation(i, v, s.halt)
+	}
 }
 
 // Shards returns the shard count; Span the total program data bytes;
@@ -413,6 +428,20 @@ func (s *Store) Halted(i int) bool {
 	return s.halted[i]
 }
 
+// Health returns the store's liveness counts: total shards, shards the
+// halt policy took down, and violations on record. Safe to call from any
+// goroutine while the store serves — the /healthz source.
+func (s *Store) Health() (shards, haltedShards, violations int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.halted {
+		if h {
+			haltedShards++
+		}
+	}
+	return len(s.shards), haltedShards, len(s.violations)
+}
+
 // Close shuts the workers down after draining their queues. The store
 // stays readable for metrics (and direct do/doAll calls run inline), but
 // further submits panic. Close must not be called concurrently with
@@ -488,7 +517,7 @@ func (s *Store) FillRegistry(reg *telemetry.Registry) Aggregate {
 	n := len(s.shards)
 	per := make([]core.Metrics, n)
 	hists := make([]*stats.Histogram, n)
-	var hashLines, totalLines uint64
+	var dataLines, hashLines, totalLines uint64
 	var vcLines, vcCapLines uint64
 	for i := 0; i < n; i++ {
 		_ = s.do(i, func(m *core.Machine) error {
@@ -498,6 +527,7 @@ func (s *Store) FillRegistry(reg *telemetry.Registry) Aggregate {
 				hists[i] = h.Clone()
 			}
 			m.FillRegistry(reg, &mt)
+			dataLines += uint64(m.L2.ResidentLinesClass(cache.Data))
 			hashLines += uint64(m.L2.ResidentLinesClass(cache.Hash))
 			totalLines += uint64(m.Cfg.L2Size / m.Cfg.L2Block)
 			if m.VC != nil {
@@ -527,17 +557,40 @@ func (s *Store) FillRegistry(reg *telemetry.Registry) Aggregate {
 	reg.Add("shard.count", uint64(n))
 	reg.Add("shard.ops_submitted", agg.OpsSubmitted)
 	reg.Add("shard.bytes_submitted", agg.BytesSubmitted)
+
+	// Liveness: violations is a counter (the record only grows); halted
+	// shards and the per-shard halt flags are levels. shard.s<i>.halted
+	// gives a scrape per-shard attribution without labels.
+	s.mu.Lock()
+	haltedShards := 0
+	for i, h := range s.halted {
+		v := 0.0
+		if h {
+			v = 1.0
+			haltedShards++
+		}
+		reg.SetGauge(fmt.Sprintf("shard.s%d.halted", i), v)
+	}
+	reg.Add("shard.violations", uint64(len(s.violations)))
+	s.mu.Unlock()
+	reg.SetGauge("shard.halted_shards", float64(haltedShards))
+
 	t := &agg.Total
 	reg.SetGauge("cpu.ipc", t.IPC)
 	reg.SetGauge("l2.data_miss_rate", t.DataMissRate)
 	reg.SetGauge("l2.hash_miss_rate", t.L2HashMissRate)
 	reg.SetGauge("bus.utilization", t.BusUtilization)
 	reg.SetGauge("integrity.extra_per_miss", t.ExtraPerMiss)
+	// Per-shard fills leave the last shard's residency levels in the
+	// gauges; overwrite them with store-wide sums.
+	reg.SetGauge("l2.resident_lines_data", float64(dataLines))
+	reg.SetGauge("l2.resident_lines_hash", float64(hashLines))
 	if totalLines > 0 {
 		reg.SetGauge("l2.hash_residency", float64(hashLines)/float64(totalLines))
 	}
 	if vcCapLines > 0 {
 		reg.SetGauge("vc.hit_rate", t.VCHitRate)
+		reg.SetGauge("vc.resident_lines", float64(vcLines))
 		reg.SetGauge("vc.occupancy", float64(vcLines)/float64(vcCapLines))
 	}
 	if t.PrefetchStats.Issued > 0 {

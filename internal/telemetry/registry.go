@@ -66,6 +66,55 @@ func (r *Registry) AppendSeries(name string, vs ...uint64) {
 	r.series[name] = append(r.series[name], vs...)
 }
 
+// EachCounter visits every counter in sorted name order.
+func (r *Registry) EachCounter(f func(name string, v uint64)) {
+	for _, name := range sortedKeys(r.counters) {
+		f(name, r.counters[name])
+	}
+}
+
+// EachGauge visits every gauge in sorted name order.
+func (r *Registry) EachGauge(f func(name string, v float64)) {
+	for _, name := range sortedKeys(r.gauges) {
+		f(name, r.gauges[name])
+	}
+}
+
+// EachHistogram visits every histogram in sorted name order. The
+// histogram is the registry's own — treat it as read-only.
+func (r *Registry) EachHistogram(f func(name string, h *stats.Histogram)) {
+	for _, name := range sortedKeys(r.hists) {
+		f(name, r.hists[name])
+	}
+}
+
+// EachSeries visits every series in sorted name order. The slice is the
+// registry's own — treat it as read-only.
+func (r *Registry) EachSeries(f func(name string, vs []uint64)) {
+	for _, name := range sortedKeys(r.series) {
+		f(name, r.series[name])
+	}
+}
+
+// MergeInto folds this registry's contents into dst: counters accumulate,
+// gauges overwrite, histograms merge, series append. The receiver is left
+// untouched — the scrape path uses MergeInto to clone a live registry
+// under its owner's lock before serializing without it.
+func (r *Registry) MergeInto(dst *Registry) {
+	for name, v := range r.counters {
+		dst.counters[name] += v
+	}
+	for name, v := range r.gauges {
+		dst.gauges[name] = v
+	}
+	for name, h := range r.hists {
+		dst.MergeHistogram(name, h)
+	}
+	for name, vs := range r.series {
+		dst.series[name] = append(dst.series[name], vs...)
+	}
+}
+
 // WriteJSON writes the snapshot. The layout is fixed:
 //
 //	{

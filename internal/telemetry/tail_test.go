@@ -1,0 +1,74 @@
+package telemetry
+
+import "testing"
+
+func TestTailCutsByCycleWindow(t *testing.T) {
+	tr := NewTrace(16)
+	tr.BeginProcess("m0")
+	tr.Emit(TrackL2, KindL2Read, 0, 100, 1, 0)
+	tr.Emit(TrackL2, KindL2Read, 500, 600, 2, 0)
+	tr.Emit(TrackL2, KindL2Read, 900, 1000, 3, 0)
+
+	tail := tr.Tail(400)
+	if got := tail.Len(); got != 2 {
+		t.Fatalf("Tail(400) kept %d events, want 2 (ends 600 and 1000)", got)
+	}
+	evs, _ := tail.retained()
+	if evs[0].A != 2 || evs[1].A != 3 {
+		t.Fatalf("Tail kept wrong events: %+v", evs)
+	}
+	if len(tail.procs) != 1 || tail.procs[0].Name != "m0" {
+		t.Fatalf("Tail lost the process mark: %+v", tail.procs)
+	}
+
+	if got := tr.Tail(0).Len(); got != 3 {
+		t.Fatalf("Tail(0) kept %d events, want all 3", got)
+	}
+	if (*Trace)(nil).Tail(10) != nil {
+		t.Fatal("nil trace Tail must stay nil")
+	}
+}
+
+func TestTailAfterRingWrap(t *testing.T) {
+	tr := NewTrace(4)
+	tr.BeginProcess("m0")
+	for i := uint64(0); i < 10; i++ {
+		tr.Emit(TrackL2, KindL2Read, i*100, i*100+50, i, 0)
+	}
+	tail := tr.Tail(0)
+	if got := tail.Len(); got != 4 {
+		t.Fatalf("wrapped Tail kept %d events, want 4", got)
+	}
+	evs, _ := tail.retained()
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.A != want {
+			t.Fatalf("event %d is A=%d, want %d (oldest-first after wrap)", i, ev.A, want)
+		}
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	src := NewRegistry()
+	src.Add("a", 3)
+	src.SetGauge("g", 1.5)
+	src.AppendSeries("s", 1, 2)
+
+	dst := NewRegistry()
+	dst.Add("a", 1)
+	dst.Add("b", 7)
+	src.MergeInto(dst)
+
+	if dst.Counter("a") != 4 || dst.Counter("b") != 7 {
+		t.Fatalf("counters after merge: a=%d b=%d", dst.Counter("a"), dst.Counter("b"))
+	}
+	if dst.gauges["g"] != 1.5 {
+		t.Fatalf("gauge after merge: %v", dst.gauges["g"])
+	}
+	if len(dst.series["s"]) != 2 {
+		t.Fatalf("series after merge: %v", dst.series["s"])
+	}
+	// The source must be untouched.
+	if src.Counter("a") != 3 || src.Counter("b") != 0 {
+		t.Fatalf("merge mutated the source: a=%d b=%d", src.Counter("a"), src.Counter("b"))
+	}
+}
