@@ -288,6 +288,70 @@ go test -run '^$' -bench 'BenchmarkStoreOps(Baseline|EnabledUnscraped)' \
   }'
 echo "ops overhead gate OK"
 
+# Service gate: memverifyd on an ephemeral port must serve mirror-checked
+# remote loadgen traffic for every tenant, contain a tampered tenant to
+# that tenant (503s for it, clean service and a degraded-not-unhealthy
+# /healthz for the rest), survive two metricscheck-clean live scrapes with
+# monotonic counters, and dump a flight record with the signal event on
+# SIGTERM.
+stmp=$(mktemp -d -t memverify-service.XXXXXX)
+go build -o "$stmp/memverifyd" ./cmd/memverifyd
+go build -o "$stmp/loadgen" ./cmd/loadgen
+go build -o "$stmp/metricscheck" ./cmd/metricscheck
+"$stmp/memverifyd" -listen 127.0.0.1:0 \
+  -tenants 't0,t1:scheme=naive,t2:scheme=m;hashmode=memo,t3:scheme=i;policy=halt' \
+  -protected $((1 << 21)) -allow-tamper -sample-every 100ms \
+  -flight "$stmp/flight.json" >"$stmp/mvd.log" 2>&1 &
+mvdpid=$!
+saddr=""
+for _ in $(seq 1 200); do
+  saddr=$(sed -n 's#^memverifyd: serving on http://\([^ ]*\).*#\1#p' "$stmp/mvd.log" | head -1)
+  [ -n "$saddr" ] && break
+  sleep 0.05
+done
+if [ -z "$saddr" ]; then
+  echo "FAIL: memverifyd never logged its serving URL" >&2
+  exit 1
+fi
+"$stmp/metricscheck" -get "http://$saddr/healthz" | grep -q '"status": "healthy"' || {
+  echo "FAIL: fresh memverifyd /healthz not healthy" >&2; exit 1; }
+for tenant in t0 t1 t2 t3; do
+  "$stmp/loadgen" -remote "$saddr" -tenant "$tenant" -workers 4 -ops 2000 >/dev/null
+done
+curl -fsS "http://$saddr/metrics" >"$stmp/scrape1.prom"
+"$stmp/metricscheck" "$stmp/scrape1.prom" >/dev/null
+sleep 0.3
+"$stmp/metricscheck" -url "http://$saddr/metrics" -prev "$stmp/scrape1.prom" >/dev/null
+# Tamper leg: corrupting halt-policy tenant t3 must fail its loadgen run...
+if "$stmp/loadgen" -remote "$saddr" -tenant t3 -workers 2 -ops 500 -tamper 0 >/dev/null 2>&1; then
+  echo "FAIL: remote loadgen did not detect the tampered tenant" >&2
+  exit 1
+fi
+# ...503 its subsequent traffic, degrade (not kill) the service, and leave
+# the neighbors serving mirror-clean.
+"$stmp/metricscheck" -get "http://$saddr/healthz" >"$stmp/health.json" || true
+grep -q '"status": "degraded"' "$stmp/health.json" || {
+  echo "FAIL: tampered tenant did not degrade /healthz" >&2; exit 1; }
+grep -q 'tenant t3' "$stmp/health.json" || {
+  echo "FAIL: /healthz detail does not attribute the halt to tenant t3" >&2; exit 1; }
+"$stmp/loadgen" -remote "$saddr" -tenant t0 -workers 2 -ops 500 >/dev/null || {
+  echo "FAIL: healthy tenant t0 stopped serving after t3 was tampered" >&2; exit 1; }
+kill -TERM "$mvdpid"
+set +e
+wait "$mvdpid"
+mstatus=$?
+set -e
+if [ "$mstatus" -ne 0 ]; then
+  echo "FAIL: memverifyd exited $mstatus on SIGTERM, want a clean 0" >&2
+  exit 1
+fi
+grep -q '"kind": "signal"' "$stmp/flight.json" || {
+  echo "FAIL: flight dump missing the SIGTERM signal event" >&2; exit 1; }
+grep -q 'shutdown complete' "$stmp/mvd.log" || {
+  echo "FAIL: memverifyd did not log a graceful shutdown" >&2; exit 1; }
+rm -rf "$stmp"
+echo "service gate OK"
+
 # Fuzz smoke: drive the functional machine through interleaved accesses
 # and adversary mutations for a few seconds looking for panics or missed
 # post-eviction corruption.

@@ -12,11 +12,20 @@
 // seed.
 //
 // With -persist DIR the store checkpoints through internal/persist every
-// -checkpoint-every ops per worker, and the kill/restart flags exercise
-// crash recovery end to end:
+// -checkpoint-every ops per worker (add -anchor FILE to pin the WAL tail
+// in external trusted storage), and the kill/restart flags exercise crash
+// recovery end to end:
 //
 //	loadgen -persist d -kill-after 2 -kill-stage seg-write   # dies (exit 3)
 //	loadgen -persist d -restart -expect-outcome recovered-clean,recovered-torn
+//
+// With -remote URL the same mirror-checked workload (and the tamper leg)
+// drives a memverifyd tenant over the wire instead of an in-process
+// store — the service must be byte-transparent, so a mismatch or an
+// unexpected verification verdict exits nonzero exactly like the local
+// mode:
+//
+//	loadgen -remote http://127.0.0.1:8380 -tenant t0 -workers 25 -ops 10000
 //
 // Usage:
 //
@@ -40,10 +49,41 @@ import (
 	"memverify/internal/persist"
 	"memverify/internal/prefetch"
 	"memverify/internal/runflags"
+	"memverify/internal/service/client"
 	"memverify/internal/shard"
 	"memverify/internal/telemetry"
 	"memverify/internal/trace"
 )
+
+// target abstracts where the traffic lands: an in-process shard.Store or
+// a memverifyd tenant over the wire. Both expose the same addressing and
+// batch surface, so the mirror-checked workload is oblivious.
+type target interface {
+	Span() uint64
+	ShardFor(off uint64) int
+	NewBatch() opBatch
+}
+
+// opBatch is the batch surface the workload drives. *shard.Batch and
+// *client.Batch both satisfy it; the adapters below only fix up the
+// NewBatch return type.
+type opBatch interface {
+	Load(off uint64, p []byte)
+	Store(off uint64, p []byte)
+	Wait() error
+}
+
+type localTarget struct{ s *shard.Store }
+
+func (t localTarget) Span() uint64            { return t.s.Span() }
+func (t localTarget) ShardFor(off uint64) int { return t.s.ShardFor(off) }
+func (t localTarget) NewBatch() opBatch       { return t.s.NewBatch() }
+
+type remoteTarget struct{ c *client.Client }
+
+func (t remoteTarget) Span() uint64            { return t.c.Span() }
+func (t remoteTarget) ShardFor(off uint64) int { return t.c.ShardFor(off) }
+func (t remoteTarget) NewBatch() opBatch       { return t.c.NewBatch() }
 
 // errKilled signals the simulated process death of -kill-after: main
 // exits 3 so scripts can tell "died at the kill point as asked" from
@@ -176,7 +216,10 @@ func run() error {
 	spec := flag.Bool("speculative", false, "run every shard's machine with the speculative verification pipeline; batch Waits become epoch barriers")
 	specWindow := flag.Int("spec-window", 0, "max in-flight speculative checks per shard (0 = default)")
 	workload := flag.String("workload", "mixed", "traffic shape: mixed, seq, zipf, appendlog")
+	remote := flag.String("remote", "", "drive a memverifyd instance at this URL instead of an in-process store")
+	tenantName := flag.String("tenant", "t0", "with -remote: the tenant to drive")
 	persistDir := flag.String("persist", "", "checkpoint the store into this directory (enables the persistence layer)")
+	anchorPath := flag.String("anchor", "", "with -persist: pin the WAL tail in this external trusted-storage file (whole-directory replay detection)")
 	ckptEvery := flag.Int("checkpoint-every", 2000, "ops per worker between checkpoints (persist mode)")
 	killAfter := flag.Int("kill-after", 0, "die at -kill-stage during the Nth checkpoint (persist mode; exit 3)")
 	killStage := flag.String("kill-stage", persist.StageSegWrite,
@@ -229,6 +272,15 @@ func run() error {
 	recs := rf.NewRecorders(*shards)
 	fr := rf.NewFlightRecorder()
 	defer rf.DumpFlight(fr)
+
+	if *remote != "" {
+		if *persistDir != "" || *restart {
+			return fmt.Errorf("-remote drives an external daemon; its persistence is the daemon's -persist, not loadgen's")
+		}
+		return runRemote(*remote, *tenantName, *workload, *workers, *ops, *batch, *maxLen,
+			*writeFrac, *seed, *tamper, *verify, fr)
+	}
+
 	pobs := &persistObs{}
 	scfg := shard.Config{Machine: cfg, Shards: *shards, QueueDepth: *queueDepth, Recorders: recs,
 		OnViolation: func(sh int, v *integrity.ViolationError, halted bool) {
@@ -244,7 +296,7 @@ func run() error {
 		if *persistDir == "" {
 			return fmt.Errorf("-restart needs -persist DIR")
 		}
-		rs, rec, err := persist.RecoverStore(persist.Options{Dir: *persistDir, OnEvent: persistEvent(fr)}, scfg)
+		rs, rec, err := persist.RecoverStore(persist.Options{Dir: *persistDir, AnchorPath: *anchorPath, OnEvent: persistEvent(fr)}, scfg)
 		if err != nil {
 			return err
 		}
@@ -322,7 +374,7 @@ func run() error {
 	var failed bool
 	start := time.Now()
 	if *persistDir != "" {
-		err = runPersistent(s, scfg, *persistDir, *workload, *workers, *ops, *ckptEvery,
+		err = runPersistent(s, scfg, *persistDir, *anchorPath, *workload, *workers, *ops, *ckptEvery,
 			*batch, *maxLen, *writeFrac, *seed, *killAfter, *killStage, *policy, *restart, fr, pobs)
 		if err != nil {
 			if errors.Is(err, errKilled) {
@@ -332,7 +384,7 @@ func run() error {
 			failed = true
 		}
 	} else {
-		failed = !runConcurrent(s, *workload, *workers, *ops, *batch, *maxLen, *writeFrac, *seed)
+		failed = !runConcurrent(localTarget{s}, *workload, *workers, *ops, *batch, *maxLen, *writeFrac, *seed)
 	}
 	trafficElapsed := time.Since(start)
 
@@ -408,13 +460,109 @@ func run() error {
 			sp.Coalesced, sp.SavedBlockReads)
 	}
 	if srv != nil && *opsLinger > 0 {
+		// Signal-aware wait: SIGINT/SIGTERM cuts the linger short so the
+		// deferred teardown (server close, flight dump) still runs —
+		// a bare sleep would ignore the signal until the window expired
+		// (or die without dumping, losing the post-mortem evidence).
 		fmt.Fprintf(os.Stderr, "loadgen: ops server lingering %s at http://%s\n", *opsLinger, srv.Addr())
-		time.Sleep(*opsLinger)
+		if sig := runflags.Linger(*opsLinger); sig != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: linger cut short by %s\n", sig)
+			fr.Record(obs.EvSignal, -1, 0, fmt.Sprintf("linger cut short by %s", sig))
+		}
 	}
 	if failed {
 		return errFailed
 	}
 	return nil
+}
+
+// runRemote drives a memverifyd tenant with the same mirror-checked
+// workload as the local mode: byte mismatches, violations and unexpected
+// verification verdicts all exit nonzero. The tamper leg corrupts the
+// remote tenant through the (daemon-armed) tamper endpoint and then
+// demands that remote verification FAIL — detection over the wire.
+func runRemote(base, tenant, workload string, workers, ops, batch, maxLen int,
+	writeFrac float64, seed uint64, tamper int, verify bool, fr *obs.FlightRecorder) error {
+
+	c, err := client.Dial(base, tenant)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	info := c.Info()
+	if info.Failed {
+		return fmt.Errorf("tenant %s refused service (recovery violation)", tenant)
+	}
+	stripe := c.Span() / uint64(workers)
+	if stripe <= uint64(maxLen) {
+		return fmt.Errorf("stripe %d too small for %dB operations; fewer workers or a larger tenant", stripe, maxLen)
+	}
+	fr.Record(obs.EvRunStart, -1, 0, fmt.Sprintf("remote=%s tenant=%s scheme=%s shards=%d workers=%d ops=%d workload=%s",
+		base, tenant, info.Scheme, info.Shards, workers, ops, workload))
+
+	// Zero the tenant before the workload. The per-worker mirrors start
+	// zeroed; a local run always begins on a fresh store, but a remote
+	// tenant may carry bytes from an earlier run, which would make every
+	// mirror check a false mismatch.
+	if err := zeroRemote(c); err != nil {
+		return fmt.Errorf("resetting tenant %s: %w", tenant, err)
+	}
+
+	var failed bool
+	start := time.Now()
+	if !runConcurrent(remoteTarget{c}, workload, workers, ops, batch, maxLen, writeFrac, seed) {
+		failed = true
+	}
+	elapsed := time.Since(start).Seconds()
+
+	if tamper >= 0 {
+		if tamper >= info.Shards {
+			return fmt.Errorf("tenant %s has %d shards, cannot tamper shard %d", tenant, info.Shards, tamper)
+		}
+		if err := c.Tamper(tamper, 0, 0xFF); err != nil {
+			return fmt.Errorf("remote tamper: %w", err)
+		}
+		fr.Record(obs.EvTamper, tamper, 0, "injected corruption via the tamper endpoint")
+	}
+	if verify && !failed {
+		if err := c.Verify(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: remote verification failed:", err)
+			failed = true
+		}
+	}
+
+	totalOps := uint64(workers) * uint64(ops)
+	fmt.Printf("loadgen: remote=%s tenant=%s scheme=%s workload=%s shards=%d workers=%d ops=%d elapsed=%.3fs\n",
+		base, tenant, info.Scheme, workload, info.Shards, workers, totalOps, elapsed)
+	fmt.Printf("loadgen: ops_per_sec=%.1f\n", float64(totalOps)/elapsed)
+	fr.Record(obs.EvRunEnd, -1, 0, fmt.Sprintf("remote failed=%t", failed))
+	if failed {
+		return errFailed
+	}
+	return nil
+}
+
+// zeroRemote writes zeros over the tenant's whole span in batched chunks
+// sized to stay under the service's default batch limits.
+func zeroRemote(c *client.Client) error {
+	const chunk = 256 << 10
+	zeros := make([]byte, chunk)
+	b := c.NewBatch()
+	pending := 0
+	for off := uint64(0); off < c.Span(); off += chunk {
+		n := uint64(chunk)
+		if off+n > c.Span() {
+			n = c.Span() - off
+		}
+		b.Store(off, zeros[:n])
+		if pending++; pending == 16 {
+			if err := b.Wait(); err != nil {
+				return err
+			}
+			pending = 0
+		}
+	}
+	return b.Wait()
 }
 
 // persistEvent adapts persist's protocol hook to the flight recorder;
@@ -477,10 +625,11 @@ func (p *persistObs) fill(reg *telemetry.Registry) {
 	p.mu.Unlock()
 }
 
-// runConcurrent is the original fully concurrent traffic phase: one
-// goroutine per worker, mirror-checked reads, no persistence. Returns
-// true on success.
-func runConcurrent(s *shard.Store, workload string, workers, ops, batch, maxLen int, writeFrac float64, seed uint64) bool {
+// runConcurrent is the fully concurrent traffic phase: one goroutine per
+// worker, mirror-checked reads, no persistence. The target may be the
+// in-process store or a remote tenant — the workload, mirrors and
+// pass/fail verdict are identical either way. Returns true on success.
+func runConcurrent(s target, workload string, workers, ops, batch, maxLen int, writeFrac float64, seed uint64) bool {
 	span := s.Span()
 	stripe := span / uint64(workers)
 	type mismatch struct {
@@ -573,7 +722,7 @@ func runConcurrent(s *shard.Store, workload string, workers, ops, batch, maxLen 
 // point, so rounds are driven serially from this goroutine — persistence
 // runs trade worker parallelism for a deterministic epoch schedule).
 // After a -restart recovery, mirrors are seeded from the recovered bytes.
-func runPersistent(s *shard.Store, scfg shard.Config, dir, workload string,
+func runPersistent(s *shard.Store, scfg shard.Config, dir, anchor, workload string,
 	workers, ops, ckptEvery, batch, maxLen int, writeFrac float64, seed uint64,
 	killAfter int, killStage, policy string, restarted bool,
 	fr *obs.FlightRecorder, pobs *persistObs) error {
@@ -585,7 +734,7 @@ func runPersistent(s *shard.Store, scfg shard.Config, dir, workload string,
 	}
 
 	var ffs *persist.FaultFS
-	popts := persist.Options{Dir: dir, Policy: policy, OnEvent: persistEvent(fr)}
+	popts := persist.Options{Dir: dir, AnchorPath: anchor, Policy: policy, OnEvent: persistEvent(fr)}
 	if killAfter > 0 {
 		ffs = persist.NewFaultFS(nil)
 		popts.FS = ffs

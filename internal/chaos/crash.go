@@ -44,6 +44,13 @@ const (
 	// CrashStaleSnapshot reinstalls an older, internally valid snapshot
 	// over the committed one — the cross-restart replay attack.
 	CrashStaleSnapshot = "stale-snapshot"
+	// CrashReplayDir reinstalls a byte-exact copy of the ENTIRE older
+	// directory — WAL, manifest and segments together — a replay no
+	// in-directory check can see (the copy is fully self-consistent).
+	// These legs run with persist.Options.AnchorPath pointing at a file
+	// outside the directory: the external trusted-storage anchor must
+	// classify the replay as a violation.
+	CrashReplayDir = "replay-dir"
 )
 
 // killStages is the protocol-stage rotation for CrashKill legs.
@@ -58,10 +65,10 @@ var killStages = []string{
 }
 
 // crashKinds is the per-leg rotation: three kills (cycling through the
-// seven stages across legs) for every four tamper legs.
+// seven stages across legs) for every five tamper legs.
 var crashKinds = []string{
 	CrashKill, CrashTamperSegment, CrashKill, CrashForgeSegment,
-	CrashKill, CrashTruncateWAL, CrashStaleSnapshot,
+	CrashKill, CrashTruncateWAL, CrashStaleSnapshot, CrashReplayDir,
 }
 
 // CrashConfig configures a crash campaign. The zero value is not usable;
@@ -369,7 +376,15 @@ func runCrashLeg(cfg CrashConfig, id int, kind, stage, dir string) (*CrashInject
 	// dominate a 200-leg CI run.
 	retry := persist.RetryPolicy{Attempts: 3, BaseDelay: 1, MaxDelay: 1}
 	ffs := persist.NewFaultFS(nil)
-	st, err := persist.Open(persist.Options{Dir: dir, FS: ffs, Retry: retry, Policy: cfg.Policy})
+	// Replay-dir legs anchor the WAL tail OUTSIDE the store directory —
+	// the external trusted storage the whole-directory replay cannot
+	// reach.
+	anchorPath := ""
+	if kind == CrashReplayDir {
+		anchorPath = dir + ".anchor"
+		defer os.Remove(anchorPath)
+	}
+	st, err := persist.Open(persist.Options{Dir: dir, FS: ffs, Retry: retry, Policy: cfg.Policy, AnchorPath: anchorPath})
 	if err != nil {
 		return nil, err
 	}
@@ -392,6 +407,14 @@ func runCrashLeg(cfg CrashConfig, id int, kind, stage, dir string) (*CrashInject
 		if err := stashClean(dir); err != nil {
 			return nil, err
 		}
+	}
+	if kind == CrashReplayDir {
+		// The adversary copies the WHOLE committed directory — WAL
+		// included — to a location of their own for later replay.
+		if err := stashWholeDir(dir, dir+".stash"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir + ".stash")
 	}
 
 	// Epoch 2: killed or committed, depending on the leg kind.
@@ -423,7 +446,7 @@ func runCrashLeg(cfg CrashConfig, id int, kind, stage, dir string) (*CrashInject
 
 	// Restart: recover with a clean filesystem, as a rebooted process
 	// would.
-	rec, roots, err := recoverLeg(cfg, mcfg, dir)
+	rec, roots, err := recoverLeg(cfg, mcfg, dir, anchorPath)
 	if err != nil {
 		return nil, err
 	}
@@ -440,16 +463,16 @@ func runCrashLeg(cfg CrashConfig, id int, kind, stage, dir string) (*CrashInject
 
 // recoverLeg dispatches recovery by source shape and returns the restored
 // per-shard roots.
-func recoverLeg(cfg CrashConfig, mcfg core.Config, dir string) (*persist.Recovery, [][]byte, error) {
+func recoverLeg(cfg CrashConfig, mcfg core.Config, dir, anchorPath string) (*persist.Recovery, [][]byte, error) {
 	if cfg.Shards > 1 {
-		s, rec, err := persist.RecoverStore(persist.Options{Dir: dir}, shard.Config{Machine: mcfg, Shards: cfg.Shards})
+		s, rec, err := persist.RecoverStore(persist.Options{Dir: dir, AnchorPath: anchorPath}, shard.Config{Machine: mcfg, Shards: cfg.Shards})
 		if err != nil {
 			return nil, nil, err
 		}
 		defer s.Close()
 		return rec, rec.Roots, nil
 	}
-	m, rec, err := persist.RecoverMachine(persist.Options{Dir: dir}, mcfg)
+	m, rec, err := persist.RecoverMachine(persist.Options{Dir: dir, AnchorPath: anchorPath}, mcfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -487,6 +510,8 @@ func applyDiskTamper(cfg CrashConfig, kind, dir string, id int) error {
 		return os.Truncate(filepath.Join(dir, "wal.log"), 2*persist.WALRecordSize)
 	case CrashStaleSnapshot:
 		return staleSnapshotSwap(cfg, dir)
+	case CrashReplayDir:
+		return replayWholeDir(dir, dir+".stash")
 	}
 	return fmt.Errorf("unknown tamper kind %q", kind)
 }
@@ -544,6 +569,60 @@ func staleSnapshotSwap(cfg CrashConfig, dir string) error {
 		}
 	}
 	return os.RemoveAll(stash)
+}
+
+// stashWholeDir copies EVERY file of dir into stash — the adversary
+// snapshotting the complete directory, write-ahead log included.
+func stashWholeDir(dir, stash string) error {
+	if err := os.MkdirAll(stash, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(stash, e.Name()), buf, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayWholeDir wipes dir and reinstalls the stashed copy byte-exactly —
+// the whole-directory replay. The resulting directory passes every
+// internal consistency check; only the external anchor can refuse it.
+func replayWholeDir(dir, stash string) error {
+	cur, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range cur {
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	ents, err := os.ReadDir(stash)
+	if err != nil {
+		return fmt.Errorf("replay-dir leg has no stash: %w", err)
+	}
+	for _, e := range ents {
+		buf, err := os.ReadFile(filepath.Join(stash, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), buf, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // stashClean copies the manifest and segment files into dir/stash — the

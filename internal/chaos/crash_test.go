@@ -8,11 +8,12 @@ import (
 	"memverify/internal/core"
 )
 
-// testCrashConfig shrinks the campaign for test runtime: 14 legs cover
-// every kind at least twice and every kill stage once.
+// testCrashConfig shrinks the campaign for test runtime: 16 legs cover
+// every kind (including replay-dir) at least twice and six of the seven
+// kill stages.
 func testCrashConfig(scheme core.Scheme) CrashConfig {
 	cfg := DefaultCrashConfig(scheme)
-	cfg.Injections = 14
+	cfg.Injections = 16
 	return cfg
 }
 
@@ -69,6 +70,29 @@ func TestCrashCampaignDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
 		t.Fatal("identical crash configs produced different reports")
+	}
+}
+
+// TestCrashCampaignReplayDirDetected pins the anchor leg specifically:
+// every whole-directory replay must classify as a violation — without
+// the external anchor these directories are internally flawless.
+func TestCrashCampaignReplayDirDetected(t *testing.T) {
+	rep, err := RunCrash(testCrashConfig(core.SchemeCached))
+	if err != nil {
+		t.Fatalf("RunCrash: %v", err)
+	}
+	var legs int
+	for _, inj := range rep.Injections {
+		if inj.Kind != CrashReplayDir {
+			continue
+		}
+		legs++
+		if !inj.Detected {
+			t.Errorf("leg %d: whole-directory replay went undetected (outcome %s)", inj.ID, inj.Outcome)
+		}
+	}
+	if legs == 0 {
+		t.Fatal("campaign ran no replay-dir legs")
 	}
 }
 

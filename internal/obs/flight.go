@@ -46,6 +46,10 @@ const (
 	EvTamper = "tamper"
 	// EvCampaign: one chaos campaign's summary line.
 	EvCampaign = "campaign"
+	// EvSignal: the process received SIGINT/SIGTERM and is shutting down
+	// gracefully; recorded before the flight dump so a signal-path dump is
+	// distinguishable from a natural run end.
+	EvSignal = "signal"
 )
 
 // FlightEvent is one recorded high-significance event. Shard is -1 when

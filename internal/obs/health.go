@@ -72,6 +72,29 @@ func (h Health) Ready() bool {
 	return !(h.Shards > 0 && h.HaltedShards >= h.Shards)
 }
 
+// MergeHealth folds per-tenant snapshots into one service-wide snapshot:
+// shard/halt/violation counts sum, Recovering ORs, and non-empty details
+// concatenate in argument order. With per-tenant halt containment the
+// merged State() reads as the service contract: degraded while some
+// tenant (but not every shard) is halted, unhealthy only when every shard
+// of every tenant is down.
+func MergeHealth(hs ...Health) Health {
+	var out Health
+	for _, h := range hs {
+		out.Shards += h.Shards
+		out.HaltedShards += h.HaltedShards
+		out.PendingViolations += h.PendingViolations
+		out.Recovering = out.Recovering || h.Recovering
+		if h.Detail != "" {
+			if out.Detail != "" {
+				out.Detail += "; "
+			}
+			out.Detail += h.Detail
+		}
+	}
+	return out
+}
+
 // WriteJSON writes the snapshot as deterministic sorted-key JSON — the
 // /healthz and /readyz response body.
 func (h Health) WriteJSON(w io.Writer) error {

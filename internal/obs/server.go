@@ -70,7 +70,21 @@ func Start(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", opts.Listen, err)
 	}
-	s := &Server{opts: opts, ln: ln}
+	s, mux := NewEmbedded(opts)
+	s.ln = ln
+	s.http = &http.Server{Handler: mux}
+	go s.http.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	s.logf("ops: listening on http://%s", ln.Addr())
+	return s, nil
+}
+
+// NewEmbedded builds the ops surface without binding a listener: the
+// returned handler serves the same endpoint set as Start and the sampler
+// (when Fill is given) is already ticking. A daemon that owns its own
+// listener (memverifyd) mounts the handler on its mux; Addr reports ""
+// and Close only stops the sampler.
+func NewEmbedded(opts Options) (*Server, http.Handler) {
+	s := &Server{opts: opts}
 	if opts.Fill != nil {
 		s.sampler = NewSampler(opts.Fill, opts.SampleEvery, opts.RingPoints)
 		s.sampler.OnSample = opts.OnSample
@@ -89,12 +103,9 @@ func Start(opts Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.http = &http.Server{Handler: mux}
 
-	go s.http.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
 	s.sampler.Start()
-	s.logf("ops: listening on http://%s", ln.Addr())
-	return s, nil
+	return s, mux
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -144,12 +155,16 @@ func (s *Server) Publish(reg *telemetry.Registry) {
 	s.mu.Unlock()
 }
 
-// Close stops the sampler and the HTTP server. Nil-safe.
+// Close stops the sampler and the HTTP server (when the server owns one —
+// embedded surfaces only stop the sampler). Nil-safe.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	s.sampler.Stop()
+	if s.http == nil {
+		return nil
+	}
 	return s.http.Close()
 }
 

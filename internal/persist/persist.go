@@ -39,6 +39,15 @@ type Options struct {
 	// FS overrides the filesystem — the chaos campaign's fault-injection
 	// hook. nil means the real disk.
 	FS FS
+	// AnchorPath, when set, names a file in EXTERNAL trusted storage
+	// anchoring the WAL tail: the store rewrites it after every WAL
+	// append, and recovery refuses a directory whose history trails or
+	// forks from it — closing the whole-directory-replay hole (DESIGN
+	// §10) that in-directory sealing cannot. The path should live outside
+	// Dir (a different failure/trust domain); a replayed-but-internally-
+	// consistent directory whose anchor disagrees classifies as
+	// violation.
+	AnchorPath string
 	// Retry bounds the exponential backoff on transient I/O failures.
 	Retry RetryPolicy
 	// Policy selects degradation after retry exhaustion, mirroring
@@ -169,10 +178,12 @@ type Store struct {
 	policy  string
 	onEvent func(kind string, epoch uint64, detail string)
 
-	epoch  uint64 // last epoch this store sealed an intent for
-	shards int    // fixed at the first checkpoint
-	fp     uint64
-	failed bool
+	epoch      uint64 // last epoch this store sealed an intent for
+	committed  uint64 // last epoch this store sealed a commit for
+	anchorPath string // external trusted-storage anchor ("" = disabled)
+	shards     int    // fixed at the first checkpoint
+	fp         uint64
+	failed     bool
 
 	stats Stats
 }
@@ -214,8 +225,38 @@ func Open(opts Options) (*Store, error) {
 		if rec.Epoch > s.epoch {
 			s.epoch = rec.Epoch
 		}
+		if rec.Type == recCommit && rec.Epoch > s.committed {
+			s.committed = rec.Epoch
+		}
 		s.fp = rec.Fingerprint
 		s.shards = int(rec.Shards)
+	}
+	if opts.AnchorPath != "" {
+		s.anchorPath = opts.AnchorPath
+		a, aerr := readAnchor(fsys, opts.AnchorPath)
+		if aerr != nil {
+			return nil, fmt.Errorf("persist: open: anchor: %w", aerr)
+		}
+		cur := anchorFromWAL(scan.Records)
+		if a != nil {
+			intents := map[uint64][16]byte{}
+			for _, rec := range scan.Records {
+				if rec.Type == recIntent {
+					intents[rec.Epoch] = rec.RootDigest
+				}
+			}
+			if err := validateAnchor(a, cur.Intent, cur.Commit, intents); err != nil {
+				return nil, fmt.Errorf("persist: open: anchor: %w", err)
+			}
+		}
+		// Enrollment on a fresh (or newly anchored) directory, and healing
+		// of the one-epoch lag a crash between WAL fsync and anchor write
+		// leaves behind.
+		if a == nil || *a != *cur {
+			if err := writeAnchor(fsys, opts.AnchorPath, cur); err != nil {
+				return nil, fmt.Errorf("persist: open: anchor: %w", err)
+			}
+		}
 	}
 	w, err := openWAL(fsys, opts.Dir)
 	if err != nil {
@@ -322,6 +363,11 @@ func (s *Store) checkpoint(src Source) (uint64, error) {
 	// The intent is sealed: from here on, epoch numbering has advanced
 	// even if the checkpoint dies — recovery resolves the tear.
 	s.epoch = epoch
+	if s.anchorPath != "" {
+		if err := writeAnchor(s.fsys, s.anchorPath, &anchor{Intent: epoch, Commit: s.committed, Digest: digest}); err != nil {
+			return 0, fmt.Errorf("persist: anchor: %w", err)
+		}
+	}
 	if s.onEvent != nil {
 		s.onEvent(EventIntent, epoch, "WAL intent sealed")
 	}
@@ -360,6 +406,12 @@ func (s *Store) checkpoint(src Source) (uint64, error) {
 	}
 	s.stats.WALRecords++
 	s.stats.BytesWritten += walRecordSize
+	s.committed = epoch
+	if s.anchorPath != "" {
+		if err := writeAnchor(s.fsys, s.anchorPath, &anchor{Intent: epoch, Commit: epoch, Digest: digest}); err != nil {
+			return 0, fmt.Errorf("persist: anchor: %w", err)
+		}
+	}
 	if s.onEvent != nil {
 		s.onEvent(EventSeal, epoch, "WAL commit sealed")
 	}

@@ -301,6 +301,31 @@ func recoverState(opts Options, expectFP uint64, expectShards int) (*Recovery, [
 	}
 	rec.IntentEpoch, rec.CommitEpoch = I, C
 
+	// 1b. Check the external trusted-storage anchor before classifying:
+	// the classification table only sees the directory's own (internally
+	// consistent) story, so a complete replayed copy passes it — the
+	// anchor is what pins the directory to the history this deployment
+	// actually lived. The anchor may lag by one epoch (crash between WAL
+	// fsync and anchor rewrite); any trailing or forked directory is a
+	// violation regardless of how clean it looks.
+	useAnchor := opts.AnchorPath != ""
+	var anch *anchor
+	if useAnchor {
+		a, aerr := readAnchor(fsys, opts.AnchorPath)
+		if aerr != nil {
+			return violation(fmt.Sprintf("trusted anchor unreadable: %v", aerr))
+		}
+		if a == nil && len(scan.Records) > 0 {
+			return violation("persisted state exists but the trusted anchor is absent: cannot exclude whole-directory replay")
+		}
+		if a != nil {
+			if err := validateAnchor(a, I, C, intents); err != nil {
+				return violation(err.Error())
+			}
+		}
+		anch = a
+	}
+
 	// 2. Read the manifest.
 	var M uint64
 	mbuf, err := readFile(fsys, filepath.Join(opts.Dir, manifestName))
@@ -362,6 +387,11 @@ func recoverState(opts Options, expectFP uint64, expectShards int) (*Recovery, [
 			return nil, nil, nil, err
 		}
 		rec.WALRepaired = true
+		if useAnchor {
+			if err := writeAnchor(fsys, opts.AnchorPath, &anchor{Intent: I, Commit: I, Digest: intents[I]}); err != nil {
+				return nil, nil, nil, fmt.Errorf("persist: anchor: %w", err)
+			}
+		}
 	case M == I-1 && C == I-1:
 		// Died between the intent seal and the manifest rename. Epoch I
 		// was never committed, so both resolutions are honest; which one
@@ -379,10 +409,33 @@ func recoverState(opts Options, expectFP uint64, expectShards int) (*Recovery, [
 				return nil, nil, nil, err
 			}
 			rec.WALRepaired = true
+			if useAnchor {
+				if err := writeAnchor(fsys, opts.AnchorPath, &anchor{Intent: I, Commit: I, Digest: intents[I]}); err != nil {
+					return nil, nil, nil, fmt.Errorf("persist: anchor: %w", err)
+				}
+			}
 		} else {
 			rec.Outcome = OutcomeTorn
 			rec.Detail = fmt.Sprintf("crash during checkpoint of epoch %d; partial epoch discarded, rolled back to %d", I, M)
 			target = M
+			// Lower the anchor to the post-rollback history BEFORE the WAL
+			// rewrite: the dangling intent is honest crash damage (it has
+			// no commit seal and the anchor itself vouched for epoch I), so
+			// the regression is legitimate here and nowhere else. Dying
+			// between the two writes leaves the directory one epoch ahead
+			// of the anchor — the accepted crash window — and the next
+			// recovery redoes the rollback.
+			if useAnchor {
+				var keep []walRecord
+				for _, r := range scan.Records {
+					if r.Epoch != I {
+						keep = append(keep, r)
+					}
+				}
+				if err := writeAnchor(fsys, opts.AnchorPath, anchorFromWAL(keep)); err != nil {
+					return nil, nil, nil, fmt.Errorf("persist: anchor: %w", err)
+				}
+			}
 			// Drop the dangling intent so the log re-converges to
 			// I == C == M; without this, a second crash would stack
 			// dangling intents into a state indistinguishable from
@@ -401,6 +454,16 @@ func recoverState(opts Options, expectFP uint64, expectShards int) (*Recovery, [
 		return violation(fmt.Sprintf("unclassifiable on-disk state (intent %d, commit %d, manifest %d)", I, C, M))
 	}
 	rec.Epoch = target
+
+	// Heal the anchor's one-epoch crash-window lag on the clean path (the
+	// repair paths above already rewrote it).
+	if useAnchor && rec.Outcome == OutcomeClean {
+		if cur := anchorFromWAL(scan.Records); anch == nil || *anch != *cur {
+			if err := writeAnchor(fsys, opts.AnchorPath, cur); err != nil {
+				return nil, nil, nil, fmt.Errorf("persist: anchor: %w", err)
+			}
+		}
+	}
 
 	if target == 0 {
 		// Rolled back past the first checkpoint: restorable state is the

@@ -1,0 +1,41 @@
+package runflags
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// NotifyInterrupt registers for SIGINT/SIGTERM and returns the delivery
+// channel plus a stop function releasing the registration. Drivers use it
+// for graceful shutdown: on delivery they record the signal in the flight
+// recorder and return through their normal teardown (deferred closes and
+// flight dump) instead of dying in the runtime's default handler.
+func NotifyInterrupt() (<-chan os.Signal, func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch, func() { signal.Stop(ch) }
+}
+
+// Linger blocks for d or until SIGINT/SIGTERM, whichever comes first, and
+// returns the signal that cut the wait short (nil on natural expiry).
+// This is the signal-aware replacement for the bare time.Sleep a driver
+// would otherwise park in while keeping its ops surface scrapeable: a
+// signal during the window returns control to the caller so deferred
+// closes and the flight dump still run.
+func Linger(d time.Duration) os.Signal {
+	if d <= 0 {
+		return nil
+	}
+	ch, stop := NotifyInterrupt()
+	defer stop()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case sig := <-ch:
+		return sig
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// sem is a weighted FIFO admission semaphore: each tenant gets one, sized
+// to its store's total queue capacity (shards × queue depth), and every
+// batch must acquire one token per operation before submitting. This maps
+// connection-level backpressure onto the bounded shard queues: a slow or
+// flooding client waits at admission for at most the configured timeout
+// and then gets an explicit 429 — bounded client-visible latency — rather
+// than parking unboundedly deep in the store's channels or buffering
+// without limit in the server.
+//
+// FIFO ordering keeps admission fair: a large batch at the head of the
+// queue cannot be starved by a stream of small ones.
+type sem struct {
+	mu      sync.Mutex
+	cap     int
+	avail   int
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	n     int
+	ready chan struct{} // closed by release when granted
+	done  bool          // granted or abandoned (under mu)
+}
+
+func newSem(capacity int) *sem {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &sem{cap: capacity, avail: capacity}
+}
+
+// acquire takes n tokens, waiting at most timeout. Requests larger than
+// the whole capacity are clamped to it (they admit alone, they don't
+// deadlock). Returns the number of tokens actually taken (to release
+// later) and whether the acquire succeeded; on false nothing is held.
+func (s *sem) acquire(n int, timeout time.Duration) (int, bool) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cap {
+		n = s.cap
+	}
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		s.mu.Unlock()
+		return n, true
+	}
+	w := &semWaiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-w.ready:
+		return n, true
+	case <-t.C:
+	}
+	s.mu.Lock()
+	if w.done {
+		// release granted us between the timeout firing and the lock:
+		// keep the grant rather than unwinding it.
+		s.mu.Unlock()
+		return n, true
+	}
+	w.done = true // abandoned; release skips it
+	s.mu.Unlock()
+	return 0, false
+}
+
+// release returns n tokens and grants queued waiters in FIFO order.
+func (s *sem) release(n int) {
+	if n < 1 {
+		return
+	}
+	s.mu.Lock()
+	s.avail += n
+	if s.avail > s.cap {
+		s.avail = s.cap
+	}
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if w.done {
+			s.waiters = s.waiters[1:]
+			continue
+		}
+		if s.avail < w.n {
+			break
+		}
+		s.avail -= w.n
+		w.done = true
+		close(w.ready)
+		s.waiters = s.waiters[1:]
+	}
+	s.mu.Unlock()
+}

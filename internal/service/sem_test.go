@@ -1,0 +1,92 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSemAcquireRelease(t *testing.T) {
+	s := newSem(8)
+	n, ok := s.acquire(5, time.Second)
+	if !ok || n != 5 {
+		t.Fatalf("acquire(5) = %d, %t", n, ok)
+	}
+	if _, ok := s.acquire(4, 10*time.Millisecond); ok {
+		t.Fatal("acquire(4) with 3 available should time out")
+	}
+	s.release(5)
+	if n, ok := s.acquire(8, time.Second); !ok || n != 8 {
+		t.Fatalf("full capacity not restored after timeout+release: %d, %t", n, ok)
+	}
+	s.release(8)
+}
+
+func TestSemClampsOversizeRequests(t *testing.T) {
+	s := newSem(4)
+	n, ok := s.acquire(100, time.Second)
+	if !ok || n != 4 {
+		t.Fatalf("oversize acquire = %d, %t; want clamped to 4", n, ok)
+	}
+	s.release(n)
+}
+
+// TestSemFIFO pins fairness: a large waiter at the head of the queue is
+// not starved by a small request that arrives later.
+func TestSemFIFO(t *testing.T) {
+	s := newSem(4)
+	if _, ok := s.acquire(4, time.Second); !ok {
+		t.Fatal("initial drain failed")
+	}
+	order := make(chan string, 2)
+	aQueued := make(chan struct{})
+	go func() {
+		close(aQueued)
+		if _, ok := s.acquire(3, 5*time.Second); !ok {
+			t.Error("waiter A timed out")
+		}
+		order <- "A"
+	}()
+	<-aQueued
+	time.Sleep(20 * time.Millisecond) // let A reach the waiter queue
+	go func() {
+		if _, ok := s.acquire(1, 5*time.Second); !ok {
+			t.Error("waiter B timed out")
+		}
+		order <- "B"
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// One token frees: enough for B, but A is at the head — nobody runs.
+	s.release(1)
+	select {
+	case who := <-order:
+		t.Fatalf("%s ran on a 1-token release with a 3-token waiter at the head", who)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Two more free A (3 available), whose release then frees B.
+	s.release(2)
+	if who := <-order; who != "A" {
+		t.Fatalf("first grant went to %s, want A", who)
+	}
+	s.release(3)
+	if who := <-order; who != "B" {
+		t.Fatalf("second grant went to %s, want B", who)
+	}
+}
+
+// TestSemTimeoutAbandonsCleanly checks an abandoned waiter neither holds
+// tokens nor blocks later grants.
+func TestSemTimeoutAbandonsCleanly(t *testing.T) {
+	s := newSem(2)
+	if _, ok := s.acquire(2, time.Second); !ok {
+		t.Fatal("drain failed")
+	}
+	if _, ok := s.acquire(2, 10*time.Millisecond); ok {
+		t.Fatal("acquire on an empty sem should time out")
+	}
+	s.release(2)
+	if n, ok := s.acquire(2, time.Second); !ok || n != 2 {
+		t.Fatalf("abandoned waiter leaked tokens: %d, %t", n, ok)
+	}
+	s.release(2)
+}

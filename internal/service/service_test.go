@@ -1,0 +1,306 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"memverify/internal/core"
+	"memverify/internal/obs"
+	"memverify/internal/shard"
+	"memverify/internal/trace"
+)
+
+// testMachine is a small functional machine for service tests.
+func testMachine(scheme core.Scheme, policy string) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Functional = true
+	cfg.ProtectedBytes = 256 << 10
+	cfg.L2Size = 32 << 10
+	cfg.HashAlg = "fnv128"
+	cfg.ViolationPolicy = policy
+	cfg.Benchmark = trace.Uniform("service", 16<<10)
+	cfg.Benchmark.CodeSet = 4 << 10
+	if scheme == core.SchemeMulti || scheme == core.SchemeIncr {
+		cfg.ChunkBlocks = 2
+	}
+	return cfg
+}
+
+func testTenant(name string, scheme core.Scheme, policy string, shards int) TenantConfig {
+	return TenantConfig{
+		Name:  name,
+		Store: shard.Config{Machine: testMachine(scheme, policy), Shards: shards},
+	}
+}
+
+func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return svc, ts
+}
+
+func postBatch(t *testing.T, url, tenant string, ops []Op) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/t/"+tenant+"/batch", "application/octet-stream",
+		bytes.NewReader(EncodeRequest(ops)))
+	if err != nil {
+		t.Fatalf("POST batch: %v", err)
+	}
+	return resp
+}
+
+func errKind(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var e APIError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding error envelope: %v", err)
+	}
+	return e.Kind
+}
+
+func TestServiceBatchRoundtrip(t *testing.T) {
+	_, ts := newTestService(t, Config{Tenants: []TenantConfig{
+		testTenant("alpha", core.SchemeCached, "record", 2),
+	}})
+
+	payload := []byte("verified bytes over the wire")
+	ops := []Op{
+		{Write: true, Off: 100, Data: payload},
+		{Off: 100, Data: make([]byte, len(payload))},
+	}
+	resp := postBatch(t, ts.URL, "alpha", ops)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	if err := DecodeResponse(resp.Body, ops); err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if !bytes.Equal(ops[1].Data, payload) {
+		t.Fatalf("read %q, wrote %q", ops[1].Data, payload)
+	}
+}
+
+func TestServiceUnknownTenantAndBadRequest(t *testing.T) {
+	_, ts := newTestService(t, Config{Tenants: []TenantConfig{
+		testTenant("alpha", core.SchemeCached, "record", 1),
+	}})
+
+	resp := postBatch(t, ts.URL, "ghost", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown tenant: status %d, want 404", resp.StatusCode)
+	}
+	if k := errKind(t, resp); k != KindUnknownTenant {
+		t.Errorf("unknown tenant kind %q", k)
+	}
+
+	bad, err := http.Post(ts.URL+"/v1/t/alpha/batch", "application/octet-stream",
+		strings.NewReader("this is not MVB1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", bad.StatusCode)
+	}
+	if k := errKind(t, bad); k != KindBadRequest {
+		t.Errorf("garbage body kind %q", k)
+	}
+}
+
+func TestServiceTamperGate(t *testing.T) {
+	_, ts := newTestService(t, Config{Tenants: []TenantConfig{
+		testTenant("alpha", core.SchemeCached, "record", 1),
+	}})
+	resp, err := http.Post(ts.URL+"/v1/t/alpha/tamper", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unarmed tamper: status %d, want 403", resp.StatusCode)
+	}
+	if k := errKind(t, resp); k != KindForbidden {
+		t.Errorf("unarmed tamper kind %q", k)
+	}
+}
+
+// TestServiceRecordPolicyViolationSurfaces pins the record-policy
+// containment path: the machine records and continues, but the batch that
+// observed the violation must still fail with 503/violation — tampered
+// bytes never report success.
+func TestServiceRecordPolicyViolationSurfaces(t *testing.T) {
+	svc, ts := newTestService(t, Config{
+		Tenants:     []TenantConfig{testTenant("alpha", core.SchemeCached, "record", 2)},
+		AllowTamper: true,
+	})
+
+	seed := []Op{{Write: true, Off: 0, Data: bytes.Repeat([]byte{0x5A}, 64)}}
+	resp := postBatch(t, ts.URL, "alpha", seed)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed write: status %d", resp.StatusCode)
+	}
+
+	tam, err := http.Post(ts.URL+"/v1/t/alpha/tamper?shard=0&off=0&xor=255", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tam.Body.Close()
+	if tam.StatusCode != http.StatusOK {
+		t.Fatalf("tamper: status %d", tam.StatusCode)
+	}
+
+	read := []Op{{Off: 0, Data: make([]byte, 64)}}
+	resp = postBatch(t, ts.URL, "alpha", read)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tampered read: status %d, want 503", resp.StatusCode)
+	}
+	if k := errKind(t, resp); k != KindViolation {
+		t.Errorf("tampered read kind %q, want %q", k, KindViolation)
+	}
+	if st := svc.Health().State(); st != obs.Degraded {
+		t.Errorf("health after violation: %v, want degraded", st)
+	}
+}
+
+// TestServiceBackpressureBoundedLatency pins the 429 contract: with the
+// tenant's whole admission capacity held, a batch is shed with 429 within
+// (roughly) AdmitTimeout — never parked unboundedly — all-or-nothing, and
+// admission recovers once capacity frees.
+func TestServiceBackpressureBoundedLatency(t *testing.T) {
+	admit := 100 * time.Millisecond
+	svc, ts := newTestService(t, Config{
+		Tenants:      []TenantConfig{testTenant("alpha", core.SchemeCached, "record", 1)},
+		AdmitTimeout: admit,
+	})
+	tn := svc.tenants["alpha"]
+	held, ok := tn.sem.acquire(tn.sem.cap, time.Second)
+	if !ok {
+		t.Fatal("could not drain the admission semaphore")
+	}
+
+	ops := []Op{{Write: true, Off: 0, Data: []byte{0xEE}}}
+	start := time.Now()
+	resp := postBatch(t, ts.URL, "alpha", ops)
+	elapsed := time.Since(start)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated batch: status %d, want 429", resp.StatusCode)
+	}
+	if k := errKind(t, resp); k != KindBusy {
+		t.Errorf("saturated batch kind %q, want %q", k, KindBusy)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if elapsed > 10*admit {
+		t.Errorf("shed took %v — not bounded by the %v admission window", elapsed, admit)
+	}
+	if tn.rejected.Load() == 0 {
+		t.Error("rejection not counted")
+	}
+
+	// All-or-nothing: the shed write must not have landed.
+	tn.sem.release(held)
+	check := []Op{{Off: 0, Data: make([]byte, 1)}}
+	resp2 := postBatch(t, ts.URL, "alpha", check)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-release read: status %d", resp2.StatusCode)
+	}
+	if err := DecodeResponse(resp2.Body, check); err != nil {
+		t.Fatal(err)
+	}
+	if check[0].Data[0] != 0 {
+		t.Errorf("shed batch leaked a write: read %#x", check[0].Data[0])
+	}
+}
+
+func TestServiceTenantListing(t *testing.T) {
+	_, ts := newTestService(t, Config{Tenants: []TenantConfig{
+		testTenant("alpha", core.SchemeCached, "record", 2),
+		testTenant("bravo", core.SchemeIncr, "halt", 1),
+	}})
+	resp, err := http.Get(ts.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "bravo" {
+		t.Fatalf("listing %+v", infos)
+	}
+	if infos[0].Shards != 2 || infos[0].Span == 0 || infos[0].ShardSpan != infos[0].Span/2 {
+		t.Errorf("alpha geometry %+v", infos[0])
+	}
+	if infos[1].Scheme != "i" || infos[1].Policy != "halt" {
+		t.Errorf("bravo config %+v", infos[1])
+	}
+}
+
+func TestServiceRejectsBadTenantNames(t *testing.T) {
+	for _, name := range []string{"", "CAPS", "has space", "-lead", "_lead", "a.b"} {
+		_, err := New(Config{Tenants: []TenantConfig{
+			testTenant(name, core.SchemeCached, "record", 1),
+		}})
+		if err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+	_, err := New(Config{Tenants: []TenantConfig{
+		testTenant("dup", core.SchemeCached, "record", 1),
+		testTenant("dup", core.SchemeCached, "record", 1),
+	}})
+	if err == nil {
+		t.Error("duplicate tenant accepted")
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	base := testTenant("", core.SchemeCached, "record", 2)
+	tcs, err := ParseTenants("alpha, bravo:scheme=i;policy=halt;shards=4, charlie:queue=8;spec=true", base)
+	if err != nil {
+		t.Fatalf("ParseTenants: %v", err)
+	}
+	if len(tcs) != 3 {
+		t.Fatalf("parsed %d tenants, want 3", len(tcs))
+	}
+	a, b, c := tcs[0], tcs[1], tcs[2]
+	if a.Name != "alpha" || a.Store.Machine.Scheme != core.SchemeCached || a.Store.Shards != 2 {
+		t.Errorf("alpha %+v", a)
+	}
+	if b.Store.Machine.Scheme != core.SchemeIncr || b.Store.Machine.ViolationPolicy != "halt" ||
+		b.Store.Shards != 4 || b.Store.Machine.ChunkBlocks != 2 {
+		t.Errorf("bravo %+v", b.Store)
+	}
+	if c.Store.QueueDepth != 8 || !c.Store.Machine.Speculative {
+		t.Errorf("charlie %+v", c.Store)
+	}
+	// Overrides must not leak between tenants.
+	if a.Store.Machine.ViolationPolicy != "record" || a.Store.Machine.Speculative {
+		t.Errorf("override leaked into alpha: %+v", a.Store.Machine)
+	}
+
+	for _, bad := range []string{"", "  ", "x:shards=zero", "x:nope=1", "x:shards", "Bad Name"} {
+		if _, err := ParseTenants(bad, base); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

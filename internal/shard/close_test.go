@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"memverify/internal/core"
+	"memverify/internal/telemetry"
+)
+
+// TestCloseRacesSubmittersAndSampler is the teardown-ordering pin for the
+// network-service path: many goroutines submitting batches and a sampler
+// snapshotting metrics while Close lands mid-flight. Under -race this
+// catches double-close and send-on-closed-queue; functionally it asserts
+// every batch either completes clean or reports ErrClosed — never panics
+// or hangs — and that metrics stay readable afterwards.
+func TestCloseRacesSubmittersAndSampler(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		s, err := New(Config{Machine: storeCfg(core.SchemeCached), Shards: 4, QueueDepth: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+
+		// Submitters: small batches over the whole span, racing the close.
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buf := bytes.Repeat([]byte{byte(w)}, 128)
+				got := make([]byte, 128)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					b := s.NewBatch()
+					off := uint64(w*1024+i*64) % s.Span()
+					b.Store(off, buf)
+					b.Load(off, got)
+					if err := b.Wait(); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("worker %d: unexpected batch error: %v", w, err)
+						}
+						return
+					}
+				}
+			}(w)
+		}
+		// Sampler: the obs.Server fill path, snapshotting during close.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg := telemetry.NewRegistry()
+				s.FillRegistry(reg)
+				_, _, _ = s.Health()
+			}
+		}()
+
+		time.Sleep(2 * time.Millisecond)
+		s.Close()
+		close(stop)
+		wg.Wait()
+
+		// Post-close the store must still answer samplers.
+		if agg := s.Metrics(); agg.Shards != 4 {
+			t.Fatalf("post-close aggregate shard count %d", agg.Shards)
+		}
+		if err := s.StoreBytes(0, []byte{1}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-close submit: %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestConcurrentClose: Close from many goroutines at once is idempotent
+// and every call returns only after the workers exited.
+func TestConcurrentClose(t *testing.T) {
+	s, err := New(Config{Machine: storeCfg(core.SchemeCached), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	for _, w := range s.shards {
+		select {
+		case <-w.exited:
+		default:
+			t.Fatal("Close returned before worker exit")
+		}
+	}
+}
+
+// TestTrySubmitBusy pins the queue-full pushback contract: with a shard's
+// worker wedged and its queue full, TryStore returns ErrBusy immediately
+// (nothing enqueued), and succeeds again once the queue drains.
+func TestTrySubmitBusy(t *testing.T) {
+	const depth = 4
+	s, err := New(Config{Machine: storeCfg(core.SchemeCached), Shards: 2, QueueDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Wedge shard 0's worker on a control call so the queue backs up.
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	blocked := make(chan struct{})
+	go func() {
+		s.WithShard(0, func(*core.Machine) {
+			close(started)
+			<-gate
+		})
+		close(blocked)
+	}()
+	<-started
+
+	// Fill shard 0's queue to capacity behind the wedged call.
+	fill := s.NewBatch()
+	for i := 0; i < depth; i++ {
+		if err := fill.TryStore(uint64(i*64), []byte{byte(i)}); err != nil {
+			t.Fatalf("fill op %d rejected with room in the queue: %v", i, err)
+		}
+	}
+
+	b := s.NewBatch()
+	start := time.Now()
+	if err := b.TryStore(0, []byte{0xAA}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("TryStore on full queue: %v, want ErrBusy", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("ErrBusy took %v; pushback must not block", d)
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatalf("empty batch after ErrBusy: %v (ErrBusy must enqueue nothing)", err)
+	}
+
+	// Shard 1 is idle: pushback is per-shard, not store-wide.
+	if err := b.TryStore(s.ShardSpan(), []byte{0xBB}); err != nil {
+		t.Fatalf("TryStore on idle neighbor shard: %v", err)
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	close(gate)
+	<-blocked
+	if err := fill.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.TryStore(0, []byte{0xCC}); err != nil {
+		t.Fatalf("TryStore after drain: %v", err)
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var got [1]byte
+	if err := s.LoadBytes(0, got[:]); err != nil || got[0] != 0xCC {
+		t.Fatalf("post-drain readback: %v, byte %#x", err, got[0])
+	}
+}

@@ -82,16 +82,32 @@ type worker struct {
 	exited chan struct{}
 }
 
+// ErrClosed is reported (wrapped with the target shard) by operations
+// submitted after — or racing with — Close. A network front-end sees it
+// when a request lands on a store that is shutting down.
+var ErrClosed = errors.New("store closed")
+
+// ErrBusy is reported by TryLoad/TryStore when the target shard's bounded
+// queue is full: nothing was enqueued and the caller may retry or shed the
+// operation. It is the queue-full pushback a slow client is mapped onto.
+var ErrBusy = errors.New("shard queue full")
+
 // Store routes byte operations across the shards and aggregates their
-// results. Submits and barriers may run from many goroutines; Close must
-// not race with them.
+// results. Submits, barriers and Close may run from many goroutines:
+// operations racing with Close either complete normally or fail with
+// ErrClosed — they never panic or write to a closed queue.
 type Store struct {
 	shards    []*worker
 	shardSpan uint64 // bytes of program data per shard
 	span      uint64 // total program data bytes
 	halt      bool   // template policy is "halt"
 	spec      bool   // template runs the speculative pipeline
-	closed    atomic.Bool
+
+	// closeMu orders queue sends against Close: senders hold it for read
+	// around the channel send, Close holds it for write while flipping
+	// closed and closing the queues, so a send never races the close.
+	closeMu sync.RWMutex
+	closed  bool
 
 	ops   atomic.Uint64
 	bytes atomic.Uint64
@@ -233,11 +249,23 @@ func (b *Batch) note(err error) {
 }
 
 // Load submits a verified read of len(p) bytes at global offset off. p
-// must stay untouched until Wait returns.
+// must stay untouched until Wait returns. If the store is closed the
+// failure surfaces (wrapped ErrClosed) from Wait.
 func (b *Batch) Load(off uint64, p []byte) { b.s.submit(b, off, p, false) }
 
 // Store submits a write of p at global offset off.
 func (b *Batch) Store(off uint64, p []byte) { b.s.submit(b, off, p, true) }
+
+// TryLoad is Load without blocking on a full queue: if the first target
+// shard's queue cannot take the request immediately it returns ErrBusy
+// and nothing is enqueued — the caller may retry or shed. Once the first
+// span is accepted, spans spilling into neighbor shards submit normally
+// (blocking), so an accepted operation always completes. A closed store
+// returns the wrapped ErrClosed (also recorded in the batch).
+func (b *Batch) TryLoad(off uint64, p []byte) error { return b.s.trySubmit(b, off, p, false) }
+
+// TryStore is Store with TryLoad's queue-full semantics.
+func (b *Batch) TryStore(off uint64, p []byte) error { return b.s.trySubmit(b, off, p, true) }
 
 // Wait blocks until every submitted operation completed and returns the
 // joined per-shard errors (each wrapped with the shard that produced it;
@@ -270,12 +298,40 @@ func (b *Batch) Wait() error {
 	return errors.Join(errs...)
 }
 
-// submit routes one operation, splitting spans that cross shard
-// boundaries. Blocks when a target queue is full (backpressure).
-func (s *Store) submit(b *Batch, off uint64, p []byte, write bool) {
-	if s.closed.Load() {
-		panic("shard: submit on closed store")
+// send enqueues req on shard i, blocking while the queue is full. It
+// returns ErrClosed (and enqueues nothing) if the store closed first; it
+// never writes to a closed channel because Close flips the flag and
+// closes the queues under the write lock.
+func (s *Store) send(i int, req request) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
 	}
+	s.shards[i].reqs <- req
+	return nil
+}
+
+// trySend is send without blocking: a full queue returns ErrBusy.
+func (s *Store) trySend(i int, req request) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.shards[i].reqs <- req:
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// submit routes one operation, splitting spans that cross shard
+// boundaries. Blocks when a target queue is full (backpressure). A closed
+// store records the wrapped ErrClosed in the batch (surfacing from Wait)
+// and drops the remaining spans.
+func (s *Store) submit(b *Batch, off uint64, p []byte, write bool) {
 	s.ops.Add(1)
 	s.bytes.Add(uint64(len(p)))
 	for len(p) > 0 {
@@ -292,10 +348,61 @@ func (s *Store) submit(b *Batch, off uint64, p []byte, write bool) {
 			b.touched[sh] = true
 			b.mu.Unlock()
 		}
-		s.shards[sh].reqs <- request{off: local, data: p[:n:n], write: write, batch: b}
+		if err := s.send(sh, request{off: local, data: p[:n:n], write: write, batch: b}); err != nil {
+			b.wg.Done()
+			b.note(s.wrap(sh, err))
+			return
+		}
 		off += n
 		p = p[n:]
 	}
+}
+
+// trySubmit implements TryLoad/TryStore: the first span must be accepted
+// without blocking (ErrBusy means nothing happened), the rest submit
+// normally.
+func (s *Store) trySubmit(b *Batch, off uint64, p []byte, write bool) error {
+	first := true
+	total := uint64(len(p))
+	for len(p) > 0 {
+		off %= s.span
+		sh := int(off / s.shardSpan)
+		local := off - uint64(sh)*s.shardSpan
+		n := s.shardSpan - local
+		if n > uint64(len(p)) {
+			n = uint64(len(p))
+		}
+		b.wg.Add(1)
+		if s.spec {
+			b.mu.Lock()
+			b.touched[sh] = true
+			b.mu.Unlock()
+		}
+		req := request{off: local, data: p[:n:n], write: write, batch: b}
+		var err error
+		if first {
+			err = s.trySend(sh, req)
+		} else {
+			err = s.send(sh, req)
+		}
+		if err != nil {
+			b.wg.Done()
+			if first && errors.Is(err, ErrBusy) {
+				return ErrBusy
+			}
+			werr := s.wrap(sh, err)
+			b.note(werr)
+			return werr
+		}
+		if first {
+			s.ops.Add(1)
+			s.bytes.Add(total)
+			first = false
+		}
+		off += n
+		p = p[n:]
+	}
+	return nil
 }
 
 // LoadBytes is the synchronous form of Batch.Load: submit, wait, return.
@@ -313,14 +420,15 @@ func (s *Store) StoreBytes(off uint64, p []byte) error {
 }
 
 // do runs f on shard i's worker goroutine and returns its error. After
-// Close the workers are gone and f runs directly — safe because Close
-// must not race with other calls.
+// Close the workers are gone and f runs directly — the store stays
+// readable for metrics; the exited wait makes the inline run safe even
+// when do races the close (the worker has fully drained by then).
 func (s *Store) do(i int, f func(*core.Machine) error) error {
-	if s.closed.Load() {
+	done := make(chan error, 1)
+	if err := s.send(i, request{call: f, done: done}); err != nil {
+		<-s.shards[i].exited
 		return f(s.shards[i].m)
 	}
-	done := make(chan error, 1)
-	s.shards[i].reqs <- request{call: f, done: done}
 	return <-done
 }
 
@@ -329,17 +437,14 @@ func (s *Store) do(i int, f func(*core.Machine) error) error {
 func (s *Store) doAll(f func(int, *core.Machine) error) error {
 	n := len(s.shards)
 	errs := make([]error, n)
-	if s.closed.Load() {
-		for i, w := range s.shards {
-			errs[i] = s.wrap(i, f(i, w.m))
-		}
-		return errors.Join(errs...)
-	}
 	dones := make([]chan error, n)
 	for i, w := range s.shards {
 		i, m := i, w.m
 		dones[i] = make(chan error, 1)
-		w.reqs <- request{call: func(*core.Machine) error { return f(i, m) }, done: dones[i]}
+		if err := s.send(i, request{call: func(*core.Machine) error { return f(i, m) }, done: dones[i]}); err != nil {
+			<-w.exited
+			dones[i] <- f(i, m)
+		}
 	}
 	for i := range dones {
 		errs[i] = s.wrap(i, <-dones[i])
@@ -442,17 +547,22 @@ func (s *Store) Health() (shards, haltedShards, violations int) {
 	return len(s.shards), haltedShards, len(s.violations)
 }
 
-// Close shuts the workers down after draining their queues. The store
-// stays readable for metrics (and direct do/doAll calls run inline), but
-// further submits panic. Close must not be called concurrently with
-// submits or barriers.
+// Close shuts the workers down after draining their queues and waits for
+// them to exit. The store stays readable for metrics (do/doAll run
+// inline); further submits fail with ErrClosed via Batch.Wait. Close is
+// idempotent and safe to race with submits, barriers and samplers: a
+// racing operation either lands before the close (and drains) or observes
+// ErrClosed — never a send on a closed queue.
 func (s *Store) Close() {
-	if s.closed.Swap(true) {
-		return
+	s.closeMu.Lock()
+	already := s.closed
+	s.closed = true
+	if !already {
+		for _, w := range s.shards {
+			close(w.reqs)
+		}
 	}
-	for _, w := range s.shards {
-		close(w.reqs)
-	}
+	s.closeMu.Unlock()
 	for _, w := range s.shards {
 		<-w.exited
 	}

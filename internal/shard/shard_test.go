@@ -266,7 +266,7 @@ func TestTamperIsolation(t *testing.T) {
 }
 
 // TestCloseDrainsAndKeepsMetrics: Close waits for queued work, metrics
-// remain readable, further submits panic.
+// remain readable, further submits fail with ErrClosed.
 func TestCloseDrainsAndKeepsMetrics(t *testing.T) {
 	s, err := New(Config{Machine: storeCfg(core.SchemeCached), Shards: 2, QueueDepth: 2})
 	if err != nil {
@@ -288,12 +288,9 @@ func TestCloseDrainsAndKeepsMetrics(t *testing.T) {
 	if err := s.VerifyAll(); err != nil {
 		t.Errorf("post-close VerifyAll: %v", err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("submit on closed store did not panic")
-		}
-	}()
-	s.StoreBytes(0, []byte{1})
+	if err := s.StoreBytes(0, []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit on closed store: %v, want ErrClosed", err)
+	}
 }
 
 // TestPerShardRecorders checks the telemetry wiring: each shard renders
